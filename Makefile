@@ -1,0 +1,36 @@
+# GAIA-Go build targets. Everything is stdlib Go; `go` >= 1.22 suffices.
+
+GO ?= go
+
+.PHONY: all build vet test cover bench figures figures-full examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -cover ./internal/... ./cmd/...
+
+# Every paper figure + extension as benchmarks (quick scale).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the evaluation tables (quick scale; figures-full = paper scale).
+figures:
+	$(GO) run ./cmd/gaia-exp -all -outdir results-quick
+
+figures-full:
+	$(GO) run ./cmd/gaia-exp -all -full -outdir results
+
+examples:
+	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+clean:
+	rm -rf results-quick

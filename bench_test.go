@@ -1,0 +1,134 @@
+package gaia
+
+// One benchmark per table/figure of the paper's evaluation: each runs the
+// corresponding experiment end-to-end (workload + carbon generation,
+// scheduling, accounting, table rendering) at Quick scale, so
+// `go test -bench=Fig -benchmem` both regenerates every figure and tracks
+// simulator performance. Use cmd/gaia-exp -full for paper-scale output.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/experiments"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.String() == "" {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkFig01CarbonVariation(b *testing.B)    { benchFigure(b, "fig01") }
+func BenchmarkFig02Tension(b *testing.B)            { benchFigure(b, "fig02") }
+func BenchmarkFig05TraceDistributions(b *testing.B) { benchFigure(b, "fig05") }
+func BenchmarkFig06RegionalCI(b *testing.B)         { benchFigure(b, "fig06") }
+func BenchmarkFig07MonthlyCI(b *testing.B)          { benchFigure(b, "fig07") }
+func BenchmarkFig08Policies(b *testing.B)           { benchFigure(b, "fig08") }
+func BenchmarkFig09SavingsCDF(b *testing.B)         { benchFigure(b, "fig09") }
+func BenchmarkFig10ReservedPolicies(b *testing.B)   { benchFigure(b, "fig10") }
+func BenchmarkFig11ReservedSweep(b *testing.B)      { benchFigure(b, "fig11") }
+func BenchmarkFig12SpotReserved(b *testing.B)       { benchFigure(b, "fig12") }
+func BenchmarkFig13WorkloadTradeoffs(b *testing.B)  { benchFigure(b, "fig13") }
+func BenchmarkFig14WaitingSweep(b *testing.B)       { benchFigure(b, "fig14") }
+func BenchmarkFig15Regions(b *testing.B)            { benchFigure(b, "fig15") }
+func BenchmarkFig16TotalSavings(b *testing.B)       { benchFigure(b, "fig16") }
+func BenchmarkFig17ReservedTraces(b *testing.B)     { benchFigure(b, "fig17") }
+func BenchmarkFig18SpotSweep(b *testing.B)          { benchFigure(b, "fig18") }
+func BenchmarkFig19HybridSweep(b *testing.B)        { benchFigure(b, "fig19") }
+func BenchmarkFig20CarbonPrice(b *testing.B)        { benchFigure(b, "fig20") }
+
+// Extensions beyond the paper (see internal/experiments/extensions.go).
+func BenchmarkX01ForecastError(b *testing.B)   { benchFigure(b, "x01-forecast") }
+func BenchmarkX02EstimateQuality(b *testing.B) { benchFigure(b, "x02-estimates") }
+func BenchmarkX03SuspendResume(b *testing.B)   { benchFigure(b, "x03-suspend") }
+func BenchmarkX04Prototype(b *testing.B)       { benchFigure(b, "x04-prototype") }
+func BenchmarkX05Checkpoint(b *testing.B)      { benchFigure(b, "x05-checkpoint") }
+func BenchmarkX06Spatial(b *testing.B)         { benchFigure(b, "x06-spatial") }
+func BenchmarkX07CarbonTax(b *testing.B)       { benchFigure(b, "x07-carbontax") }
+func BenchmarkX08Scaling(b *testing.B)         { benchFigure(b, "x08-scaling") }
+
+// Micro-benchmarks of the hot paths the figures exercise.
+
+// BenchmarkSchedulerThroughput measures end-to-end jobs/second through the
+// core scheduler (policy decisions + event simulation + accounting).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	tr := carbon.RegionSAAU.Generate(24*40, 1)
+	jobs := workload.AlibabaPAI().GenerateByCount(rand.New(rand.NewSource(1)), 2000, 30*simtime.Day)
+	cfg := core.Config{
+		Policy:         policy.CarbonTime{},
+		Carbon:         tr,
+		Reserved:       50,
+		WorkConserving: true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(jobs.Len()), "jobs/op")
+}
+
+// BenchmarkCarbonIntegral measures the O(1) prefix-sum window integral.
+func BenchmarkCarbonIntegral(b *testing.B) {
+	tr := carbon.RegionCAUS.GenerateYear(1)
+	iv := simtime.Interval{Start: 12345, End: 12345 + simtime.Time(7*simtime.Hour) + 30}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Integral(iv)
+	}
+}
+
+// BenchmarkPolicyDecide measures one Carbon-Time scheduling decision
+// (a 24 h candidate scan over forecast integrals).
+func BenchmarkPolicyDecide(b *testing.B) {
+	tr := carbon.RegionSAAU.GenerateYear(1)
+	ctx := &policy.Context{
+		CIS: carbon.NewPerfectService(tr),
+		Queues: map[workload.Queue]policy.QueueInfo{
+			workload.QueueLong: {MaxWait: 24 * simtime.Hour, AvgLength: 4 * simtime.Hour},
+		},
+	}
+	job := workload.Job{ID: 1, Length: 4 * simtime.Hour, CPUs: 2, Queue: workload.QueueLong}
+	p := policy.CarbonTime{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Decide(job, simtime.Time(i%100000), ctx)
+	}
+}
+
+// BenchmarkWaitAwhilePlan measures building one suspend-resume plan.
+func BenchmarkWaitAwhilePlan(b *testing.B) {
+	tr := carbon.RegionSAAU.GenerateYear(1)
+	ctx := &policy.Context{
+		CIS: carbon.NewPerfectService(tr),
+		Queues: map[workload.Queue]policy.QueueInfo{
+			workload.QueueLong: {MaxWait: 24 * simtime.Hour, AvgLength: 4 * simtime.Hour},
+		},
+	}
+	job := workload.Job{ID: 1, Length: 6 * simtime.Hour, CPUs: 1, Queue: workload.QueueLong}
+	p := policy.WaitAwhile{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Decide(job, simtime.Time(i%100000), ctx)
+	}
+}

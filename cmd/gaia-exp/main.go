@@ -1,0 +1,89 @@
+// Command gaia-exp regenerates the paper's evaluation figures on the GAIA
+// simulator.
+//
+// Usage:
+//
+//	gaia-exp -list
+//	gaia-exp -figure fig08            # one figure, quick scale
+//	gaia-exp -figure fig13 -full      # paper-scale (year, ~100k jobs)
+//	gaia-exp -all                     # every figure, quick scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/carbonsched/gaia/internal/experiments"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "", "experiment id to run (e.g. fig08)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list available experiments")
+		full   = flag.Bool("full", false, "paper-scale runs (year-long traces) instead of quick")
+		outdir = flag.String("outdir", "", "also write each result to <outdir>/<id>.txt")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			if err := runOne(e, scale, *outdir); err != nil {
+				fmt.Fprintf(os.Stderr, "gaia-exp: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case *figure != "":
+		e, err := experiments.ByID(*figure)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runOne(e, scale, *outdir); err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-exp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, scale experiments.Scale, outdir string) error {
+	start := time.Now()
+	out, err := e.Run(scale)
+	if err != nil {
+		return err
+	}
+	text := out.String()
+	fmt.Printf("== %s (%s scale, %v) ==\n%s\n", e.ID, scale, time.Since(start).Round(time.Millisecond), text)
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outdir, e.ID+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+		if tsv, ok := out.(experiments.TSVer); ok {
+			path := filepath.Join(outdir, e.ID+".tsv")
+			if err := os.WriteFile(path, []byte(tsv.TSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

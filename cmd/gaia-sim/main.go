@@ -1,0 +1,305 @@
+// Command gaia-sim runs one GAIA cluster simulation — the equivalent of
+// the paper artifact's src/run.py. It loads or generates a carbon trace
+// and a workload, applies one scheduling configuration, and reports
+// carbon, cost and waiting time (optionally writing the artifact-style
+// aggregate and per-job details CSV files).
+//
+// Examples:
+//
+//	# Carbon- and cost-agnostic baseline on the default week-long trace:
+//	gaia-sim -policy nowait
+//
+//	# Lowest carbon window with 6h/24h waits, in South Australia:
+//	gaia-sim -policy lowest-window -region SA-AU -w 6x24
+//
+//	# The paper's RES-First-Carbon-Time with 18 reserved CPUs:
+//	gaia-sim -policy carbon-time -reserved 18 -work-conserving
+//
+//	# Spot for jobs up to 2h with a 5%/h eviction rate:
+//	gaia-sim -policy carbon-time -spot-max 2 -eviction 0.05
+//
+//	# Replay real traces exported to CSV:
+//	gaia-sim -policy carbon-time -carbon ci.csv -workload jobs.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/carbonsched/gaia/internal/accountdb"
+	"github.com/carbonsched/gaia/internal/batch"
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "gaia-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gaia-sim", flag.ContinueOnError)
+	var (
+		policyName = fs.String("policy", "carbon-time",
+			"scheduling policy: nowait|allwait|lowest-slot|lowest-window|carbon-time|wait-awhile|wait-awhile-est|ecovisor")
+		region     = fs.String("region", "CA-US", "built-in carbon region (SE|ON-CA|SA-AU|CA-US|NL|KY-US)")
+		carbonFile = fs.String("carbon", "", "carbon trace CSV (overrides -region)")
+		carbonFmt  = fs.String("carbon-format", "gaia", "carbon CSV schema: gaia (hour,ci) or emaps (datetime,...,ci)")
+		wlFile     = fs.String("workload", "", "workload trace CSV (overrides -family)")
+		family     = fs.String("family", "alibaba", "synthetic workload family: alibaba|azure|mustang|poisson")
+		jobs       = fs.Int("jobs", 1000, "number of synthetic jobs")
+		days       = fs.Int("days", 7, "workload span in days")
+		reserved   = fs.Int("reserved", 0, "reserved CPU units")
+		workCons   = fs.Bool("work-conserving", false, "enable RES-First work conservation")
+		spotMax    = fs.Float64("spot-max", 0, "max job hours routed to spot (0 = no spot)")
+		eviction   = fs.Float64("eviction", 0, "hourly spot eviction probability")
+		waits      = fs.String("w", "6x24", "max waiting hours as SHORTxLONG, e.g. 6x24 (0 allowed)")
+		seed       = fs.Int64("seed", 1, "random seed (workload generation and evictions)")
+		out        = fs.String("out", "", "output file prefix: writes <out>-summary.csv and <out>-details.csv")
+		dbPath     = fs.String("db", "", "append job records to this accounting CSV (query with gaiactl)")
+		runtime    = fs.String("runtime", "sim", "execution model: sim (GAIA-Simulator) or prototype (node-level batch runtime)")
+		scenario   = fs.String("scenario", "", "JSON scenario file describing a batch of runs to compare (ignores other flags)")
+		checkpoint = fs.Float64("checkpoint", 0, "spot checkpoint interval in hours (0 = progress lost on eviction)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scenario != "" {
+		return runScenario(*scenario)
+	}
+
+	pol, err := policyByName(*policyName)
+	if err != nil {
+		return err
+	}
+	wShort, wLong, err := parseWaits(*waits)
+	if err != nil {
+		return err
+	}
+	carbonTr, err := loadCarbon(*carbonFile, *carbonFmt, *region, *days)
+	if err != nil {
+		return err
+	}
+	jobsTr, err := loadWorkload(*wlFile, *family, *jobs, *days, *seed)
+	if err != nil {
+		return err
+	}
+
+	horizon := simtime.Duration(*days+3) * simtime.Day
+	if *runtime == "prototype" {
+		return runPrototype(batch.Config{
+			Policy:        pol,
+			Carbon:        carbonTr,
+			ReservedNodes: *reserved,
+			SpotMaxLen:    simtime.HoursDur(*spotMax),
+			EvictionRate:  *eviction,
+			WaitShort:     wShort,
+			WaitLong:      wLong,
+			Horizon:       horizon,
+			Seed:          *seed,
+		}, jobsTr)
+	}
+	if *runtime != "sim" {
+		return fmt.Errorf("unknown -runtime %q (want sim or prototype)", *runtime)
+	}
+
+	cfg := core.Config{
+		Policy:             pol,
+		Carbon:             carbonTr,
+		Reserved:           *reserved,
+		WorkConserving:     *workCons,
+		SpotMaxLen:         simtime.HoursDur(*spotMax),
+		EvictionRate:       *eviction,
+		CheckpointInterval: simtime.HoursDur(*checkpoint),
+		WaitShort:          wShort,
+		WaitLong:           wLong,
+		Horizon:            horizon,
+		Seed:               *seed,
+	}
+	res, err := core.Run(cfg, jobsTr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("config:   %s\n", res.Label)
+	fmt.Printf("region:   %s   workload: %s (%d jobs)\n", res.Region, res.Workload, len(res.Jobs))
+	fmt.Printf("carbon:   %.3f kg (baseline %.3f kg, savings %.1f%%)\n",
+		res.TotalCarbonKg(), res.BaselineCarbon()/1000, 100*res.CarbonSavingsFraction())
+	fmt.Printf("cost:     $%.2f (reserved upfront $%.2f + usage $%.2f)\n",
+		res.TotalCost(), res.ReservedUpfront(), res.UsageCost())
+	fmt.Printf("waiting:  %v mean   completion: %v mean\n", res.MeanWaiting(), res.MeanCompletion())
+	if res.Reserved > 0 {
+		fmt.Printf("reserved: %d units, %.1f%% utilized\n", res.Reserved, 100*res.ReservedUtilization())
+	}
+	if res.TotalEvictions() > 0 {
+		fmt.Printf("spot:     %d evictions\n", res.TotalEvictions())
+	}
+
+	if *out != "" {
+		if err := writeFile(*out+"-summary.csv", res.WriteSummary); err != nil {
+			return err
+		}
+		if err := writeFile(*out+"-details.csv", res.WriteDetailsCSV); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s-summary.csv and %s-details.csv\n", *out, *out)
+	}
+	if *dbPath != "" {
+		if err := appendToDB(*dbPath, res); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d records to %s\n", len(res.Jobs), *dbPath)
+	}
+	return nil
+}
+
+// appendToDB loads an existing accounting CSV (if any), appends this
+// run's records, and rewrites the file.
+func appendToDB(path string, res *metrics.Result) error {
+	db := &accountdb.DB{}
+	if f, err := os.Open(path); err == nil {
+		loadErr := db.Load(f)
+		f.Close()
+		if loadErr != nil {
+			return fmt.Errorf("existing db %s: %w", path, loadErr)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	db.AppendResult(res)
+	return writeFile(path, db.Save)
+}
+
+// runPrototype executes on the node-level batch runtime and prints its
+// fleet-style report.
+func runPrototype(cfg batch.Config, jobs *workload.Trace) error {
+	res, err := batch.Run(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("runtime:  prototype (node-level, whole-lifetime billing)\n")
+	fmt.Printf("config:   %s\n", res.Label)
+	fmt.Printf("jobs:     %d   nodes launched: %d\n", len(res.Jobs), res.NodesLaunched)
+	fmt.Printf("carbon:   %.3f kg\n", res.CarbonKg())
+	fmt.Printf("cost:     $%.2f\n", res.Cost)
+	fmt.Printf("waiting:  %v mean\n", res.MeanWaiting())
+	if res.TotalEvictions() > 0 {
+		fmt.Printf("spot:     %d interruptions\n", res.TotalEvictions())
+	}
+	return nil
+}
+
+func policyByName(name string) (policy.Policy, error) {
+	switch strings.ToLower(name) {
+	case "nowait":
+		return policy.NoWait{}, nil
+	case "allwait":
+		return policy.AllWait{}, nil
+	case "lowest-slot":
+		return policy.LowestSlot{}, nil
+	case "lowest-window":
+		return policy.LowestWindow{}, nil
+	case "carbon-time":
+		return policy.CarbonTime{}, nil
+	case "wait-awhile":
+		return policy.WaitAwhile{}, nil
+	case "wait-awhile-est":
+		return policy.WaitAwhileEst{}, nil
+	case "ecovisor":
+		return policy.Ecovisor{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parseWaits(s string) (short, long simtime.Duration, err error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -w %q (want SHORTxLONG, e.g. 6x24)", s)
+	}
+	sh, err1 := strconv.ParseFloat(parts[0], 64)
+	lo, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil || sh < 0 || lo < 0 {
+		return 0, 0, fmt.Errorf("bad -w %q (want SHORTxLONG, e.g. 6x24)", s)
+	}
+	conv := func(h float64) simtime.Duration {
+		if h == 0 {
+			return -1 // explicit zero wait
+		}
+		return simtime.HoursDur(h)
+	}
+	return conv(sh), conv(lo), nil
+}
+
+func loadCarbon(file, format, region string, days int) (*carbon.Trace, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "gaia":
+			return carbon.ReadCSV(file, f)
+		case "emaps":
+			// ElectricityMaps exports: datetime first, intensity last.
+			return carbon.ReadElectricityMapsCSV(file, f, 0, 1)
+		default:
+			return nil, fmt.Errorf("unknown -carbon-format %q", format)
+		}
+	}
+	spec, err := carbon.RegionByCode(region)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate((days+3)*24, 2022), nil
+}
+
+func loadWorkload(file, family string, jobs, days int, seed int64) (*workload.Trace, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadCSV(file, f)
+	}
+	span := simtime.Duration(days) * simtime.Day
+	rng := rand.New(rand.NewSource(seed))
+	switch strings.ToLower(family) {
+	case "alibaba":
+		return workload.AlibabaPAI().GenerateByCount(rng, jobs, span), nil
+	case "azure":
+		return workload.AzureVM().GenerateByCount(rng, jobs, span), nil
+	case "mustang":
+		return workload.MustangHPC().GenerateByCount(rng, jobs, span), nil
+	case "poisson":
+		return workload.SectionThreeWorkload().Generate(rng, span), nil
+	default:
+		return nil, fmt.Errorf("unknown workload family %q", family)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

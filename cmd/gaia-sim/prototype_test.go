@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunPrototypeRuntime(t *testing.T) {
+	err := run([]string{"-runtime", "prototype", "-policy", "carbon-time",
+		"-jobs", "40", "-days", "2", "-reserved", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPrototypeWithSpot(t *testing.T) {
+	err := run([]string{"-runtime", "prototype", "-policy", "nowait",
+		"-jobs", "40", "-days", "2", "-spot-max", "2", "-eviction", "0.2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckpointFlag(t *testing.T) {
+	err := run([]string{"-policy", "carbon-time", "-jobs", "40", "-days", "2",
+		"-spot-max", "6", "-eviction", "0.2", "-checkpoint", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownRuntime(t *testing.T) {
+	if err := run([]string{"-runtime", "bogus"}); err == nil {
+		t.Error("unknown runtime should error")
+	}
+}
+
+func TestRunPrototypeSuspendResumePolicies(t *testing.T) {
+	for _, p := range []string{"wait-awhile", "ecovisor"} {
+		err := run([]string{"-runtime", "prototype", "-policy", p,
+			"-jobs", "10", "-days", "2", "-reserved", "3"})
+		if err != nil {
+			t.Errorf("%s on prototype: %v", p, err)
+		}
+	}
+}

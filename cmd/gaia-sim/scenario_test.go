@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeScenario(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScenarioRuns(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "runs.csv")
+	path := writeScenario(t, `{
+		"region": "SA-AU",
+		"family": "alibaba",
+		"jobs": 60,
+		"days": 2,
+		"db": "`+db+`",
+		"runs": [
+			{"name": "baseline", "policy": "nowait"},
+			{"name": "gaia", "policy": "carbon-time", "reserved": 5, "work_conserving": true},
+			{"policy": "carbon-time", "spot_max_hours": 2, "eviction": 0.1, "checkpoint_hours": 0.5}
+		]
+	}`)
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(db); err != nil || st.Size() == 0 {
+		t.Errorf("accounting db missing: %v", err)
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	path := writeScenario(t, `{"jobs": 30, "days": 2, "runs": [{"policy": "nowait"}]}`)
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"runs": []}`,
+		`{"runs": [{"policy": "bogus"}]}`,
+		`{"waits": "xx", "runs": [{"policy": "nowait"}]}`,
+		`{"region": "XX", "runs": [{"policy": "nowait"}]}`,
+	}
+	for i, c := range cases {
+		path := writeScenario(t, c)
+		if err := run([]string{"-scenario", path}); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if err := run([]string{"-scenario", "/nonexistent.json"}); err == nil {
+		t.Error("missing file should error")
+	}
+}

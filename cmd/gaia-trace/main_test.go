@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateCarbonAndStats(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ci.csv")
+	if err := run([]string{"-kind", "carbon", "-region", "SA-AU", "-hours", "100", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("output missing: %v", err)
+	}
+	if err := run([]string{"-stats-carbon", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateWorkloadAndStats(t *testing.T) {
+	dir := t.TempDir()
+	for _, fam := range []string{"alibaba", "azure", "mustang", "poisson"} {
+		out := filepath.Join(dir, fam+".csv")
+		if err := run([]string{"-kind", "workload", "-family", fam, "-jobs", "50", "-days", "3", "-o", out}); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if err := run([]string{"-stats-workload", out}); err != nil {
+			t.Fatalf("%s stats: %v", fam, err)
+		}
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-kind", "carbon", "-region", "XX"},
+		{"-kind", "workload", "-family", "bogus"},
+		{"-stats-carbon", "/nonexistent.csv"},
+		{"-stats-workload", "/nonexistent.csv"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

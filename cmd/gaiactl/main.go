@@ -1,0 +1,92 @@
+// Command gaiactl queries a GAIA accounting database (the CSV store
+// written by gaia-sim -db), in the spirit of Slurm's sacct: filter job
+// records and aggregate carbon, cost, waiting and placement by run,
+// queue, user, region or workload.
+//
+// Examples:
+//
+//	gaia-sim -policy carbon-time -db runs.csv
+//	gaia-sim -policy nowait      -db runs.csv
+//	gaiactl -db runs.csv -summary -by run
+//	gaiactl -db runs.csv -summary -by user -queue short
+//	gaiactl -db runs.csv -jobs -run Carbon-Time -user u01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/carbonsched/gaia/internal/accountdb"
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "gaiactl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gaiactl", flag.ContinueOnError)
+	var (
+		dbPath   = fs.String("db", "", "accounting CSV written by gaia-sim -db (required)")
+		summary  = fs.Bool("summary", false, "print group aggregates")
+		jobs     = fs.Bool("jobs", false, "print matching job records")
+		by       = fs.String("by", "run", "summary grouping: run|queue|user|region|workload")
+		runLabel = fs.String("run", "", "filter: run label")
+		region   = fs.String("region", "", "filter: region")
+		queue    = fs.String("queue", "", "filter: queue")
+		user     = fs.String("user", "", "filter: user")
+		limit    = fs.Int("limit", 20, "max job rows printed with -jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("-db is required")
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db := &accountdb.DB{}
+	if err := db.Load(f); err != nil {
+		return err
+	}
+
+	filter := accountdb.Filter{Run: *runLabel, Region: *region, Queue: *queue, User: *user}
+	switch {
+	case *summary:
+		groups, err := db.GroupAggregate(filter, *by)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %6s %10s %10s %9s %9s %8s %6s\n",
+			*by, "jobs", "cpu·h", "carbon_kg", "saved_kg", "cost$", "wait_h", "evict")
+		for _, g := range groups {
+			fmt.Printf("%-24s %6d %10.1f %10.3f %9.3f %9.2f %8.2f %6d\n",
+				g.Key, g.Jobs, g.CPUHours, g.CarbonKg, g.SavedKg, g.UsageCost, g.MeanWaitH, g.Evictions)
+		}
+		return nil
+	case *jobs:
+		recs := db.Select(filter)
+		fmt.Printf("%-20s %6s %-6s %-6s %5s %9s %9s %9s\n",
+			"run", "job", "queue", "user", "cpus", "arrival", "wait", "carbon_g")
+		for i, r := range recs {
+			if i >= *limit {
+				fmt.Printf("... %d more (raise -limit)\n", len(recs)-i)
+				break
+			}
+			fmt.Printf("%-20s %6d %-6s %-6s %5d %9s %9s %9.2f\n",
+				r.Run, r.JobID, r.Queue, r.User, r.CPUs,
+				simtime.Time(r.ArrivalMin).String(),
+				simtime.Duration(r.WaitingMin).String(), r.CarbonG)
+		}
+		return nil
+	default:
+		return fmt.Errorf("pick -summary or -jobs")
+	}
+}

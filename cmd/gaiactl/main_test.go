@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/accountdb"
+)
+
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	db := &accountdb.DB{}
+	db.Append(
+		accountdb.Record{Run: "Carbon-Time", Region: "SA-AU", Workload: "alibaba",
+			JobID: 0, Queue: "short", User: "u01", CPUs: 1, WaitingMin: 120,
+			CarbonG: 100, BaselineCarbonG: 150, UsageCost: 1, OnDemandCPUH: 1},
+		accountdb.Record{Run: "NoWait", Region: "SA-AU", Workload: "alibaba",
+			JobID: 0, Queue: "long", User: "u02", CPUs: 2, WaitingMin: 0,
+			CarbonG: 300, BaselineCarbonG: 300, UsageCost: 4, OnDemandCPUH: 4},
+	)
+	path := filepath.Join(t.TempDir(), "runs.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummaryByRun(t *testing.T) {
+	path := writeTestDB(t)
+	if err := run([]string{"-db", path, "-summary", "-by", "run"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryByUserFiltered(t *testing.T) {
+	path := writeTestDB(t)
+	if err := run([]string{"-db", path, "-summary", "-by", "user", "-queue", "short"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobsListing(t *testing.T) {
+	path := writeTestDB(t)
+	if err := run([]string{"-db", path, "-jobs", "-run", "NoWait", "-limit", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeTestDB(t)
+	cases := [][]string{
+		{},                          // no db
+		{"-db", "/nonexistent.csv"}, // missing file
+		{"-db", path},               // neither -summary nor -jobs
+		{"-db", path, "-summary", "-by", "bogus"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

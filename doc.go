@@ -1,0 +1,9 @@
+// Package gaia is a Go reproduction of GAIA — the carbon-, performance-
+// and cost-aware cloud batch scheduler from "Going Green for Less Green:
+// Optimizing the Cost of Reducing Cloud Carbon Emissions" (ASPLOS 2024).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the simulator and experiment CLIs; examples/
+// holds runnable walkthroughs; bench_test.go regenerates every evaluation
+// figure as a benchmark.
+package gaia

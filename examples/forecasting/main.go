@@ -1,0 +1,63 @@
+// Forecasting walkthrough: GAIA without the perfect-forecast assumption.
+// A seasonal-naive forecaster trained on the trailing four weeks drives
+// Carbon-Time's decisions; its savings are compared against perfect
+// knowledge, and the forecaster's own accuracy is reported per lead time.
+//
+//	go run ./examples/forecasting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/forecast"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func main() {
+	// Ten weeks of the volatile South Australian grid.
+	ci := carbon.RegionSAAU.Generate(10*7*24, 1)
+	jobs := workload.AlibabaPAI().GenerateByCount(
+		rand.New(rand.NewSource(7)), 4000, 10*7*simtime.Day)
+
+	model, err := forecast.NewSeasonalNaive(ci, 28, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("forecaster accuracy (hour-of-week profile + AR residual):")
+	for _, a := range model.Evaluate([]int{1, 6, 24, 48}) {
+		fmt.Printf("  %2dh ahead: MAPE %5.1f%%  RMSE %5.1f g/kWh\n",
+			a.LeadHours, 100*a.MAPE, a.RMSE)
+	}
+
+	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: ci}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCarbon-Time savings vs NoWait:")
+	for _, cis := range []struct {
+		name string
+		svc  carbon.Service
+	}{
+		{"perfect forecasts (paper's assumption)", carbon.NewPerfectService(ci)},
+		{"trained seasonal-naive forecaster", model},
+	} {
+		res, err := core.Run(core.Config{
+			Policy: policy.CarbonTime{},
+			Carbon: ci,
+			CIS:    cis.svc,
+		}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-42s %5.1f%% savings, mean wait %v\n",
+			cis.name, 100*(1-res.TotalCarbon()/base.TotalCarbon()), res.MeanWaiting())
+	}
+	fmt.Println("\nshifting targets the next diurnal trough, which forecasts robustly —")
+	fmt.Println("the perfect-forecast assumption costs almost nothing (experiment x01).")
+}

@@ -1,0 +1,51 @@
+// Region comparison: the same workload scheduled carbon-aware across six
+// grid regions. Normalized savings track a grid's variability, but total
+// kilograms avoided track its absolute carbon intensity — judge
+// deployments by total reduction (paper Figures 15-16, §6.4.3).
+//
+//	go run ./examples/regions
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func main() {
+	jobs := workload.AlibabaPAI().GenerateByCount(
+		rand.New(rand.NewSource(5)), 2000, 3*simtime.Week)
+
+	fmt.Println("region  class            meanCI  savings%  saved(kg)  total(kg)  mean wait")
+	for i, spec := range carbon.Regions() {
+		ci := spec.Generate(24*24, int64(10+i))
+		run := func(p policy.Policy) *coreResult {
+			res, err := core.Run(core.Config{
+				Policy: p, Carbon: ci, Horizon: 24 * simtime.Day,
+			}, jobs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return &coreResult{res.TotalCarbonKg(), res.MeanWaiting()}
+		}
+		base := run(policy.NoWait{})
+		aware := run(policy.CarbonTime{})
+		fmt.Printf("%-6s  %-15s  %6.0f  %7.1f%%  %9.2f  %9.2f  %v\n",
+			spec.Code, spec.Class, ci.Mean(),
+			100*(1-aware.kg/base.kg), base.kg-aware.kg, aware.kg, aware.wait)
+	}
+	fmt.Println("\nvariable grids (SA-AU, CA-US) give the biggest relative cuts;")
+	fmt.Println("dirty grids (KY-US) can still avoid more absolute kilograms per point.")
+	fmt.Println("waiting time is workload-determined and stays flat across regions.")
+}
+
+type coreResult struct {
+	kg   float64
+	wait simtime.Duration
+}

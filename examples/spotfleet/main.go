@@ -1,0 +1,58 @@
+// Spot fleet walkthrough: how deep discounts interact with evictions.
+// Spot instances let a carbon-aware schedule run at 20% of the on-demand
+// price — but evictions lose all progress, so routing long jobs to spot
+// backfires (paper §4.2.4, Figure 18, guidance #5).
+//
+//	go run ./examples/spotfleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func main() {
+	ci := carbon.RegionSAAU.Generate(20*24, 1)
+	jobs := workload.AzureVM().GenerateByCount(
+		rand.New(rand.NewSource(4)), 1500, 2*simtime.Week)
+
+	base, err := core.Run(core.Config{
+		Policy: policy.NoWait{}, Carbon: ci, Horizon: 18 * simtime.Day,
+	}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Spot-First-Carbon-Time vs on-demand NoWait")
+	fmt.Println("evict%/h  Jmax   cost(norm)  carbon(norm)  evictions  wasted CPU·h")
+	for _, evict := range []float64{0, 0.10} {
+		for _, jmaxH := range []int{2, 6, 24} {
+			res, err := core.Run(core.Config{
+				Policy:       policy.CarbonTime{},
+				Carbon:       ci,
+				Horizon:      18 * simtime.Day,
+				SpotMaxLen:   simtime.Duration(jmaxH) * simtime.Hour,
+				EvictionRate: evict,
+				Seed:         7,
+			}, jobs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel := res.CompareTo(base)
+			var wasted float64
+			for _, j := range res.Jobs {
+				wasted += j.WastedCPUHours
+			}
+			fmt.Printf("%7.0f%%  %3dh  %10.3f  %12.3f  %9d  %10.1f\n",
+				100*evict, jmaxH, rel.Cost, rel.Carbon, res.TotalEvictions(), wasted)
+		}
+	}
+	fmt.Println("\nwith evictions, extending Jmax past a few hours stops paying:")
+	fmt.Println("lost progress costs money AND carbon (it reruns in a dirtier slot).")
+}

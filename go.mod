@@ -1,0 +1,3 @@
+module github.com/carbonsched/gaia
+
+go 1.22

@@ -1,0 +1,314 @@
+// Package accountdb is the scheduler's job-accounting store — the role
+// SlurmDBD plays in the paper's architecture (§4.1): a durable record of
+// every job's resource consumption extended with GAIA's carbon, cost and
+// elasticity-overhead columns, with sacct-style filtering and group-by
+// aggregation.
+//
+// The store is an append-only in-memory table with CSV persistence;
+// multiple simulation runs append under distinct run labels and can be
+// compared with one query.
+package accountdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// Record is one finished job's accounting row.
+type Record struct {
+	Run      string // run label (policy/configuration)
+	Region   string
+	Workload string
+	JobID    int
+	Queue    string
+	User     string
+	CPUs     int
+
+	ArrivalMin int64
+	StartMin   int64
+	FinishMin  int64
+	WaitingMin int64
+
+	CarbonG         float64
+	BaselineCarbonG float64
+	UsageCost       float64
+	ReservedCPUH    float64
+	OnDemandCPUH    float64
+	SpotCPUH        float64
+	Evictions       int
+	WastedCPUH      float64
+}
+
+// DB is the accounting table. The zero value is an empty store.
+type DB struct {
+	records []Record
+}
+
+// Len returns the number of stored records.
+func (db *DB) Len() int { return len(db.records) }
+
+// Append adds records.
+func (db *DB) Append(recs ...Record) { db.records = append(db.records, recs...) }
+
+// AppendResult converts a simulator result into accounting rows and
+// appends them under the result's label.
+func (db *DB) AppendResult(res *metrics.Result) {
+	for _, j := range res.Jobs {
+		db.Append(Record{
+			Run:             res.Label,
+			Region:          res.Region,
+			Workload:        res.Workload,
+			JobID:           j.JobID,
+			Queue:           j.Queue.String(),
+			User:            j.User,
+			CPUs:            j.CPUs,
+			ArrivalMin:      int64(j.Arrival),
+			StartMin:        int64(j.Start),
+			FinishMin:       int64(j.Finish),
+			WaitingMin:      int64(j.Waiting),
+			CarbonG:         j.Carbon,
+			BaselineCarbonG: j.BaselineCarbon,
+			UsageCost:       j.UsageCost,
+			ReservedCPUH:    j.CPUHours[cloud.Reserved],
+			OnDemandCPUH:    j.CPUHours[cloud.OnDemand],
+			SpotCPUH:        j.CPUHours[cloud.Spot],
+			Evictions:       j.Evictions,
+			WastedCPUH:      j.WastedCPUHours,
+		})
+	}
+}
+
+// Filter selects records; zero fields match everything.
+type Filter struct {
+	Run, Region, Workload, Queue, User string
+	// ArrivedFrom/ArrivedTo bound the arrival minute (To exclusive,
+	// 0 = unbounded).
+	ArrivedFrom, ArrivedTo int64
+}
+
+func (f Filter) matches(r Record) bool {
+	if f.Run != "" && r.Run != f.Run {
+		return false
+	}
+	if f.Region != "" && r.Region != f.Region {
+		return false
+	}
+	if f.Workload != "" && r.Workload != f.Workload {
+		return false
+	}
+	if f.Queue != "" && r.Queue != f.Queue {
+		return false
+	}
+	if f.User != "" && r.User != f.User {
+		return false
+	}
+	if f.ArrivedFrom != 0 && r.ArrivalMin < f.ArrivedFrom {
+		return false
+	}
+	if f.ArrivedTo != 0 && r.ArrivalMin >= f.ArrivedTo {
+		return false
+	}
+	return true
+}
+
+// Select returns matching records in insertion order.
+func (db *DB) Select(f Filter) []Record {
+	var out []Record
+	for _, r := range db.records {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Aggregate is a sacct-style summary of a record group.
+type Aggregate struct {
+	Key           string
+	Jobs          int
+	CPUHours      float64
+	CarbonKg      float64
+	SavedKg       float64 // baseline − actual
+	UsageCost     float64
+	MeanWaitH     float64
+	Evictions     int
+	WastedCPUH    float64
+	SpotShare     float64 // spot CPU·h / total CPU·h
+	ReservedShare float64
+}
+
+// GroupBy standard keys.
+const (
+	ByRun      = "run"
+	ByQueue    = "queue"
+	ByUser     = "user"
+	ByRegion   = "region"
+	ByWorkload = "workload"
+)
+
+// keyOf extracts the group key.
+func keyOf(by string, r Record) (string, error) {
+	switch by {
+	case ByRun:
+		return r.Run, nil
+	case ByQueue:
+		return r.Queue, nil
+	case ByUser:
+		return r.User, nil
+	case ByRegion:
+		return r.Region, nil
+	case ByWorkload:
+		return r.Workload, nil
+	default:
+		return "", fmt.Errorf("accountdb: unknown group key %q", by)
+	}
+}
+
+// GroupAggregate filters then aggregates by the given key, returning
+// groups sorted by key.
+func (db *DB) GroupAggregate(f Filter, by string) ([]Aggregate, error) {
+	groups := map[string]*Aggregate{}
+	var waitSums map[string]float64 = map[string]float64{}
+	for _, r := range db.records {
+		if !f.matches(r) {
+			continue
+		}
+		key, err := keyOf(by, r)
+		if err != nil {
+			return nil, err
+		}
+		g := groups[key]
+		if g == nil {
+			g = &Aggregate{Key: key}
+			groups[key] = g
+		}
+		total := r.ReservedCPUH + r.OnDemandCPUH + r.SpotCPUH
+		g.Jobs++
+		g.CPUHours += total
+		g.CarbonKg += r.CarbonG / 1000
+		g.SavedKg += (r.BaselineCarbonG - r.CarbonG) / 1000
+		g.UsageCost += r.UsageCost
+		g.Evictions += r.Evictions
+		g.WastedCPUH += r.WastedCPUH
+		g.SpotShare += r.SpotCPUH
+		g.ReservedShare += r.ReservedCPUH
+		waitSums[key] += simtime.Duration(r.WaitingMin).Hours()
+	}
+	out := make([]Aggregate, 0, len(groups))
+	for key, g := range groups {
+		if g.Jobs > 0 {
+			g.MeanWaitH = waitSums[key] / float64(g.Jobs)
+		}
+		if g.CPUHours > 0 {
+			g.SpotShare /= g.CPUHours
+			g.ReservedShare /= g.CPUHours
+		}
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+var csvHeader = []string{
+	"run", "region", "workload", "job_id", "queue", "user", "cpus",
+	"arrival_min", "start_min", "finish_min", "waiting_min",
+	"carbon_g", "baseline_carbon_g", "usage_cost",
+	"reserved_cpuh", "ondemand_cpuh", "spot_cpuh", "evictions", "wasted_cpuh",
+}
+
+// Save writes the whole table as CSV.
+func (db *DB) Save(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("accountdb: writing header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, r := range db.records {
+		rec := []string{
+			r.Run, r.Region, r.Workload,
+			strconv.Itoa(r.JobID), r.Queue, r.User, strconv.Itoa(r.CPUs),
+			strconv.FormatInt(r.ArrivalMin, 10),
+			strconv.FormatInt(r.StartMin, 10),
+			strconv.FormatInt(r.FinishMin, 10),
+			strconv.FormatInt(r.WaitingMin, 10),
+			f(r.CarbonG), f(r.BaselineCarbonG), f(r.UsageCost),
+			f(r.ReservedCPUH), f(r.OnDemandCPUH), f(r.SpotCPUH),
+			strconv.Itoa(r.Evictions), f(r.WastedCPUH),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("accountdb: writing record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Load reads a table written by Save, appending to the store.
+func (db *DB) Load(r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return fmt.Errorf("accountdb: reading csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("accountdb: empty file")
+	}
+	for i, row := range rows[1:] {
+		rec, err := parseRow(row)
+		if err != nil {
+			return fmt.Errorf("accountdb: row %d: %w", i+1, err)
+		}
+		db.records = append(db.records, rec)
+	}
+	return nil
+}
+
+func parseRow(row []string) (Record, error) {
+	var r Record
+	var errs []error
+	pInt := func(s string) int {
+		v, err := strconv.Atoi(s)
+		errs = append(errs, err)
+		return v
+	}
+	pI64 := func(s string) int64 {
+		v, err := strconv.ParseInt(s, 10, 64)
+		errs = append(errs, err)
+		return v
+	}
+	pF := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		errs = append(errs, err)
+		return v
+	}
+	r.Run, r.Region, r.Workload = row[0], row[1], row[2]
+	r.JobID = pInt(row[3])
+	r.Queue, r.User = row[4], row[5]
+	r.CPUs = pInt(row[6])
+	r.ArrivalMin = pI64(row[7])
+	r.StartMin = pI64(row[8])
+	r.FinishMin = pI64(row[9])
+	r.WaitingMin = pI64(row[10])
+	r.CarbonG = pF(row[11])
+	r.BaselineCarbonG = pF(row[12])
+	r.UsageCost = pF(row[13])
+	r.ReservedCPUH = pF(row[14])
+	r.OnDemandCPUH = pF(row[15])
+	r.SpotCPUH = pF(row[16])
+	r.Evictions = pInt(row[17])
+	r.WastedCPUH = pF(row[18])
+	for _, err := range errs {
+		if err != nil {
+			return Record{}, err
+		}
+	}
+	return r, nil
+}

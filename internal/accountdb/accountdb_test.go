@@ -1,0 +1,152 @@
+package accountdb
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func sampleDB() *DB {
+	db := &DB{}
+	db.Append(
+		Record{Run: "A", Region: "SA-AU", Queue: "short", User: "u01", CPUs: 1,
+			ArrivalMin: 0, WaitingMin: 60, CarbonG: 100, BaselineCarbonG: 150,
+			UsageCost: 2, OnDemandCPUH: 2},
+		Record{Run: "A", Region: "SA-AU", Queue: "long", User: "u02", CPUs: 2,
+			ArrivalMin: 500, WaitingMin: 120, CarbonG: 400, BaselineCarbonG: 400,
+			UsageCost: 0, ReservedCPUH: 8},
+		Record{Run: "B", Region: "SA-AU", Queue: "short", User: "u01", CPUs: 1,
+			ArrivalMin: 900, WaitingMin: 0, CarbonG: 50, BaselineCarbonG: 150,
+			UsageCost: 0.4, SpotCPUH: 2, Evictions: 1, WastedCPUH: 0.5},
+	)
+	return db
+}
+
+func TestSelectFilters(t *testing.T) {
+	db := sampleDB()
+	if got := len(db.Select(Filter{})); got != 3 {
+		t.Errorf("all = %d", got)
+	}
+	if got := len(db.Select(Filter{Run: "A"})); got != 2 {
+		t.Errorf("run A = %d", got)
+	}
+	if got := len(db.Select(Filter{Queue: "short", User: "u01"})); got != 2 {
+		t.Errorf("short/u01 = %d", got)
+	}
+	if got := len(db.Select(Filter{ArrivedFrom: 400, ArrivedTo: 901})); got != 2 {
+		t.Errorf("window = %d", got)
+	}
+	if got := len(db.Select(Filter{Region: "XX"})); got != 0 {
+		t.Errorf("bad region = %d", got)
+	}
+}
+
+func TestGroupAggregate(t *testing.T) {
+	db := sampleDB()
+	byRun, err := db.GroupAggregate(Filter{}, ByRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byRun) != 2 || byRun[0].Key != "A" || byRun[1].Key != "B" {
+		t.Fatalf("byRun = %+v", byRun)
+	}
+	a := byRun[0]
+	if a.Jobs != 2 || math.Abs(a.CarbonKg-0.5) > 1e-12 || math.Abs(a.SavedKg-0.05) > 1e-12 {
+		t.Errorf("A aggregate = %+v", a)
+	}
+	if math.Abs(a.MeanWaitH-1.5) > 1e-12 {
+		t.Errorf("A mean wait = %v", a.MeanWaitH)
+	}
+	if math.Abs(a.CPUHours-10) > 1e-12 || math.Abs(a.ReservedShare-0.8) > 1e-12 {
+		t.Errorf("A shares = %+v", a)
+	}
+	b := byRun[1]
+	if b.Evictions != 1 || math.Abs(b.SpotShare-1) > 1e-12 {
+		t.Errorf("B aggregate = %+v", b)
+	}
+	byUser, err := db.GroupAggregate(Filter{}, ByUser)
+	if err != nil || len(byUser) != 2 {
+		t.Fatalf("byUser = %+v, %v", byUser, err)
+	}
+	if _, err := db.GroupAggregate(Filter{}, "bogus"); err == nil {
+		t.Error("unknown key should error")
+	}
+	for _, by := range []string{ByRegion, ByWorkload, ByQueue} {
+		if _, err := db.GroupAggregate(Filter{}, by); err != nil {
+			t.Errorf("%s: %v", by, err)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := sampleDB()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := &DB{}
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("round trip %d != %d", loaded.Len(), db.Len())
+	}
+	a, b := db.Select(Filter{}), loaded.Select(Filter{})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad,header\n1,2\n",
+		strings.Join(csvHeader, ",") + "\nA,r,w,x,short,u,1,0,0,0,0,1,1,1,1,1,1,0,0\n", // bad job id
+	}
+	for i, in := range cases {
+		db := &DB{}
+		if err := db.Load(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAppendResultFromSimulation(t *testing.T) {
+	vals := make([]float64, 48)
+	for i := range vals {
+		vals[i] = 100
+	}
+	tr := carbon.MustTrace("flat", vals)
+	jobs := workload.MustTrace("wl", []workload.Job{
+		{Arrival: 0, Length: simtime.Hour, CPUs: 1, User: "alice"},
+		{Arrival: 10, Length: 2 * simtime.Hour, CPUs: 2, User: "bob"},
+	})
+	res, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: tr}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &DB{}
+	db.AppendResult(res)
+	if db.Len() != 2 {
+		t.Fatalf("records = %d", db.Len())
+	}
+	byUser, err := db.GroupAggregate(Filter{}, ByUser)
+	if err != nil || len(byUser) != 2 {
+		t.Fatalf("byUser = %+v, %v", byUser, err)
+	}
+	if byUser[0].Key != "alice" || byUser[1].Key != "bob" {
+		t.Errorf("user keys = %v, %v", byUser[0].Key, byUser[1].Key)
+	}
+	if byUser[1].CPUHours != 4 {
+		t.Errorf("bob cpuh = %v", byUser[1].CPUHours)
+	}
+}

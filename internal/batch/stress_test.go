@@ -1,0 +1,81 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Stress: a bursty mixed workload (multi-CPU gangs, spot-eligible short
+// jobs, heavy evictions, tight reserved fleet) must complete every job
+// with sane accounting — guards against gang-allocation deadlocks and
+// node-state leaks.
+func TestPrototypeStressMixedFleet(t *testing.T) {
+	tr := carbon.RegionSAAU.Generate(24*16, 11)
+	jobs := workload.MustangHPC().GenerateByCount(rand.New(rand.NewSource(12)), 250, simtime.Week)
+	cfg := Config{
+		Policy:        policy.CarbonTime{},
+		Carbon:        tr,
+		ReservedNodes: 30,
+		SpotMaxLen:    2 * simtime.Hour,
+		EvictionRate:  0.30,
+		Pricing:       testPricing,
+		Power:         testPower,
+		Seed:          13,
+	}
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != jobs.Len() {
+		t.Fatalf("%d/%d jobs completed", len(res.Jobs), jobs.Len())
+	}
+	for _, j := range res.Jobs {
+		if j.State != Completed {
+			t.Fatalf("job %d in state %v", j.Spec.ID, j.State)
+		}
+		if j.End.Sub(j.Start) < j.Spec.Length {
+			t.Fatalf("job %d ran %v < length %v", j.Spec.ID, j.End.Sub(j.Start), j.Spec.Length)
+		}
+		if j.Waiting() < 0 {
+			t.Fatalf("job %d negative waiting", j.Spec.ID)
+		}
+	}
+	if res.Cost <= 0 || res.CarbonG <= 0 {
+		t.Error("accounting should be positive")
+	}
+}
+
+// Simultaneous multi-CPU arrivals compete for a small reserved fleet plus
+// elastic scale-up; nothing may deadlock even when gangs interleave.
+func TestPrototypeSimultaneousGangs(t *testing.T) {
+	tr := flatTrace(24*4, 100)
+	var specs []workload.Job
+	for i := 0; i < 12; i++ {
+		specs = append(specs, workload.Job{
+			Arrival: 0, // all at once
+			Length:  simtime.Hour + simtime.Duration(i)*10,
+			CPUs:    1 + i%5,
+		})
+	}
+	jobs := workload.MustTrace("burst", specs)
+	cfg := protoConfig(policy.NoWait{}, tr)
+	cfg.ReservedNodes = 3
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 12 {
+		t.Fatalf("%d jobs finished", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		// Everyone should start within one boot delay (elastic cloud).
+		if j.Start > simtime.Time(10*simtime.Minute) {
+			t.Errorf("job %d started at %v", j.Spec.ID, j.Start)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package carbon
+
+import (
+	"math/rand"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// Service is the Carbon Information Service (CIS) interface consumed by
+// schedulers: real-time intensity plus forecasts over a future window.
+// The paper assumes perfect forecasts (citing CarbonCast's accuracy);
+// PerfectService provides that, and NoisyService models forecast error for
+// sensitivity studies.
+type Service interface {
+	// Intensity returns the current carbon intensity at t in g/kWh.
+	Intensity(t simtime.Time) float64
+	// ForecastIntegral returns the time-integral of CI over iv in
+	// (g/kWh)·hours as forecast at time asOf (asOf <= iv.Start for a
+	// scheduler asking about the future). A perfect CIS returns the
+	// realized integral; real forecasters may only consult data up to
+	// asOf.
+	ForecastIntegral(asOf simtime.Time, iv simtime.Interval) float64
+	// Region returns the grid region label.
+	Region() string
+}
+
+// PerfectService is a CIS with perfect knowledge of the future: forecasts
+// are the realized trace values.
+type PerfectService struct {
+	trace *Trace
+}
+
+// NewPerfectService wraps a trace as a perfect-knowledge CIS.
+func NewPerfectService(tr *Trace) *PerfectService { return &PerfectService{trace: tr} }
+
+// Intensity returns the realized CI at t.
+func (s *PerfectService) Intensity(t simtime.Time) float64 { return s.trace.At(t) }
+
+// ForecastIntegral returns the realized integral over iv regardless of
+// asOf: perfect knowledge.
+func (s *PerfectService) ForecastIntegral(_ simtime.Time, iv simtime.Interval) float64 {
+	return s.trace.Integral(iv)
+}
+
+// Region returns the underlying trace's region.
+func (s *PerfectService) Region() string { return s.trace.Region() }
+
+// Trace exposes the underlying trace (accounting uses realized values).
+func (s *PerfectService) Trace() *Trace { return s.trace }
+
+// NoisyService perturbs forecasts with multiplicative noise whose standard
+// deviation grows linearly with lead time, while Intensity (the "now"
+// reading) stays exact. It models an imperfect CIS such as a day-ahead
+// forecast feed.
+type NoisyService struct {
+	trace *Trace
+	// ErrPerDay is the relative forecast error accrued per day of lead
+	// time (e.g. 0.05 = 5 %/day).
+	ErrPerDay float64
+	noise     []float64 // per-slot frozen noise draws, pre-generated
+}
+
+// NewNoisyService wraps tr with multiplicative forecast noise seeded by
+// seed. errPerDay is the relative error per day of lead time.
+func NewNoisyService(tr *Trace, errPerDay float64, seed int64) *NoisyService {
+	rng := rand.New(rand.NewSource(seed))
+	noise := make([]float64, tr.Len())
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	return &NoisyService{trace: tr, ErrPerDay: errPerDay, noise: noise}
+}
+
+// Intensity returns the exact current CI.
+func (s *NoisyService) Intensity(t simtime.Time) float64 { return s.trace.At(t) }
+
+// ForecastIntegral integrates the noisy per-slot forecast over iv, with
+// error growing with the lead time from asOf. Noise is frozen per slot so
+// repeated queries are consistent within a run.
+func (s *NoisyService) ForecastIntegral(asOf simtime.Time, iv simtime.Interval) float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	if asOf > iv.Start {
+		asOf = iv.Start
+	}
+	var total float64
+	first := iv.Start.HourIndex()
+	last := (iv.End - 1).HourIndex()
+	for i := first; i <= last; i++ {
+		slot := simtime.Interval{
+			Start: simtime.Time(simtime.Duration(i) * simtime.Hour),
+			End:   simtime.Time(simtime.Duration(i+1) * simtime.Hour),
+		}
+		ov := slot.Intersect(iv)
+		leadDays := simtime.MaxTime(slot.Start, asOf).Sub(asOf).Days()
+		sigma := s.ErrPerDay * leadDays
+		idx := i
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s.noise) {
+			idx = len(s.noise) - 1
+		}
+		factor := 1 + sigma*s.noise[idx]
+		if factor < 0.05 {
+			factor = 0.05
+		}
+		total += s.trace.Value(i) * factor * ov.Len().Hours()
+	}
+	return total
+}
+
+// Region returns the underlying trace's region.
+func (s *NoisyService) Region() string { return s.trace.Region() }
+
+var (
+	_ Service = (*PerfectService)(nil)
+	_ Service = (*NoisyService)(nil)
+)

@@ -1,0 +1,84 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestPerfectService(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 200, 300})
+	s := NewPerfectService(tr)
+	if s.Region() != "x" {
+		t.Errorf("Region = %q", s.Region())
+	}
+	if s.Intensity(90) != 200 {
+		t.Errorf("Intensity = %v", s.Intensity(90))
+	}
+	iv := simtime.Interval{Start: 0, End: 120}
+	if got := s.ForecastIntegral(0, iv); !almostEq(got, 300, 1e-9) {
+		t.Errorf("ForecastIntegral = %v", got)
+	}
+	if s.Trace() != tr {
+		t.Error("Trace accessor broken")
+	}
+}
+
+func TestNoisyServiceNowIsExact(t *testing.T) {
+	tr := RegionCAUS.Generate(200, 5)
+	s := NewNoisyService(tr, 0.05, 9)
+	for _, tm := range []simtime.Time{0, 500, 9000} {
+		if s.Intensity(tm) != tr.At(tm) {
+			t.Error("current intensity must be exact")
+		}
+	}
+	if s.Region() != tr.Region() {
+		t.Error("Region mismatch")
+	}
+}
+
+func TestNoisyServiceZeroErrorMatchesPerfect(t *testing.T) {
+	tr := RegionCAUS.Generate(200, 5)
+	noisy := NewNoisyService(tr, 0, 9)
+	iv := simtime.Interval{Start: 90, End: 3000}
+	if got, want := noisy.ForecastIntegral(0, iv), tr.Integral(iv); !almostEq(got, want, 1e-6) {
+		t.Errorf("zero-error forecast %v != realized %v", got, want)
+	}
+	if noisy.ForecastIntegral(0, simtime.Interval{Start: 10, End: 10}) != 0 {
+		t.Error("empty interval should be 0")
+	}
+}
+
+func TestNoisyServiceErrorGrowsWithLead(t *testing.T) {
+	tr := RegionCAUS.Generate(24*40, 5)
+	s := NewNoisyService(tr, 0.10, 9)
+	relErr := func(asOf simtime.Time, iv simtime.Interval) float64 {
+		want := tr.Integral(iv)
+		got := s.ForecastIntegral(asOf, iv)
+		return math.Abs(got-want) / want
+	}
+	// Average over several windows to damp luck.
+	var nearSum, farSum float64
+	n := 20
+	for k := 0; k < n; k++ {
+		base := simtime.Time(simtime.Duration(k) * simtime.Day)
+		near := simtime.Interval{Start: base, End: base.Add(6 * simtime.Hour)}
+		far := simtime.Interval{Start: base.Add(7 * simtime.Day), End: base.Add(7*simtime.Day + 6*simtime.Hour)}
+		nearSum += relErr(base, near)
+		farSum += relErr(base, far)
+	}
+	if farSum <= nearSum {
+		t.Errorf("far-lead error %v should exceed near-lead error %v", farSum/float64(n), nearSum/float64(n))
+	}
+}
+
+func TestNoisyServiceDeterministic(t *testing.T) {
+	tr := RegionCAUS.Generate(100, 5)
+	a := NewNoisyService(tr, 0.1, 42)
+	b := NewNoisyService(tr, 0.1, 42)
+	iv := simtime.Interval{Start: 0, End: 6000}
+	if a.ForecastIntegral(0, iv) != b.ForecastIntegral(0, iv) {
+		t.Error("same seed must give same forecasts")
+	}
+}

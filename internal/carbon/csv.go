@@ -1,0 +1,104 @@
+package carbon
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes the trace as "hour,carbon_intensity" rows with a header.
+// The format matches common CIS exports (one row per hourly slot) so real
+// ElectricityMaps/WattTime data can be round-tripped.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "carbon_intensity"}); err != nil {
+		return fmt.Errorf("carbon: writing header: %w", err)
+	}
+	for i, v := range tr.values {
+		rec := []string{strconv.Itoa(i), strconv.FormatFloat(v, 'f', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("carbon: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any CSV whose second
+// column is an hourly g/kWh value, with a single header row). Rows must be
+// in hour order starting at 0.
+func ReadCSV(region string, r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("carbon: reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("carbon: csv has no data rows")
+	}
+	values := make([]float64, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		hour, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("carbon: row %d: bad hour %q: %w", i+1, row[0], err)
+		}
+		if hour != i {
+			return nil, fmt.Errorf("carbon: row %d: hour %d out of order", i+1, hour)
+		}
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("carbon: row %d: bad intensity %q: %w", i+1, row[1], err)
+		}
+		values = append(values, v)
+	}
+	return NewTrace(region, values)
+}
+
+// ReadElectricityMapsCSV parses the common export schema of public CIS
+// feeds (ElectricityMaps and similar): a header row, an ISO-8601 or
+// "2006-01-02 15:04" datetime in column datetimeCol and the carbon
+// intensity (g/kWh) in column valueCol. Rows must be hourly and
+// consecutive; the first row defines simulated time 0.
+func ReadElectricityMapsCSV(region string, r io.Reader, datetimeCol, valueCol int) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("carbon: reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("carbon: csv has no data rows")
+	}
+	parseTime := func(s string) (time.Time, error) {
+		for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02 15:04"} {
+			if ts, err := time.Parse(layout, s); err == nil {
+				return ts, nil
+			}
+		}
+		return time.Time{}, fmt.Errorf("carbon: unparseable datetime %q", s)
+	}
+	var values []float64
+	var prev time.Time
+	for i, row := range rows[1:] {
+		if datetimeCol >= len(row) || valueCol >= len(row) {
+			return nil, fmt.Errorf("carbon: row %d: only %d columns", i+1, len(row))
+		}
+		ts, err := parseTime(row[datetimeCol])
+		if err != nil {
+			return nil, fmt.Errorf("carbon: row %d: %w", i+1, err)
+		}
+		if i > 0 && ts.Sub(prev) != time.Hour {
+			return nil, fmt.Errorf("carbon: row %d: non-hourly step %v", i+1, ts.Sub(prev))
+		}
+		prev = ts
+		v, err := strconv.ParseFloat(row[valueCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("carbon: row %d: bad intensity %q: %w", i+1, row[valueCol], err)
+		}
+		values = append(values, v)
+	}
+	return NewTrace(region, values)
+}

@@ -1,0 +1,49 @@
+package carbon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := RegionCAUS.Generate(100, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("CA-US", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip length %d != %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got.Value(i) != tr.Value(i) {
+			t.Fatalf("round trip value mismatch at %d", i)
+		}
+	}
+	if got.Region() != "CA-US" {
+		t.Errorf("region = %q", got.Region())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"headerOnly", "hour,carbon_intensity\n"},
+		{"badHour", "hour,ci\nx,100\n"},
+		{"outOfOrder", "hour,ci\n1,100\n"},
+		{"badValue", "hour,ci\n0,abc\n"},
+		{"negative", "hour,ci\n0,-5\n"},
+		{"wrongFields", "hour,ci\n0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("x", strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

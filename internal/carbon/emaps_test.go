@@ -1,0 +1,49 @@
+package carbon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadElectricityMapsCSV(t *testing.T) {
+	in := "datetime,zone,carbon_intensity\n" +
+		"2022-01-01T00:00:00Z,SE,35.2\n" +
+		"2022-01-01T01:00:00Z,SE,36.1\n" +
+		"2022-01-01T02:00:00Z,SE,34.9\n"
+	tr, err := ReadElectricityMapsCSV("SE", strings.NewReader(in), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || tr.Value(1) != 36.1 || tr.Region() != "SE" {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestReadElectricityMapsCSVSpaceFormat(t *testing.T) {
+	in := "datetime,ci\n" +
+		"2022-06-07 00:00,410\n" +
+		"2022-06-07 01:00,395\n"
+	tr, err := ReadElectricityMapsCSV("TX", strings.NewReader(in), 0, 1)
+	if err != nil || tr.Len() != 2 {
+		t.Fatalf("trace = %v, %v", tr, err)
+	}
+}
+
+func TestReadElectricityMapsCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"headerOnly", "datetime,ci\n"},
+		{"badTime", "datetime,ci\nnot-a-time,100\n"},
+		{"badValue", "datetime,ci\n2022-01-01T00:00:00Z,abc\n"},
+		{"gap", "datetime,ci\n2022-01-01T00:00:00Z,100\n2022-01-01T02:00:00Z,100\n"},
+		{"negative", "datetime,ci\n2022-01-01T00:00:00Z,-5\n"},
+		{"shortRow", "datetime,ci\n2022-01-01T00:00:00Z\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadElectricityMapsCSV("x", strings.NewReader(c.in), 0, 1); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

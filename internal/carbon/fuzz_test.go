@@ -1,0 +1,47 @@
+package carbon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the carbon parser never panics and accepted traces
+// round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("hour,carbon_intensity\n0,100\n1,200.5\n")
+	f.Add("hour,ci\n0,-1\n")
+	f.Add("")
+	f.Add("hour,ci\n1,100\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := ReadCSV("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length")
+		}
+	})
+}
+
+// FuzzReadElectricityMapsCSV asserts the external-schema parser never
+// panics on arbitrary input.
+func FuzzReadElectricityMapsCSV(f *testing.F) {
+	f.Add("datetime,ci\n2022-01-01T00:00:00Z,100\n", 0, 1)
+	f.Add("a,b,c\n2022-01-01 05:00,x,9\n", 0, 2)
+	f.Add("", 3, 7)
+	f.Fuzz(func(t *testing.T, input string, dtCol, vCol int) {
+		if dtCol < 0 || vCol < 0 || dtCol > 16 || vCol > 16 {
+			return
+		}
+		_, _ = ReadElectricityMapsCSV("fuzz", strings.NewReader(input), dtCol, vCol)
+	})
+}

@@ -1,0 +1,140 @@
+package carbon
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/stats"
+)
+
+// PriceTrace is an hourly electricity price series ($/MWh). It supports
+// the paper's Figure 20 discussion: in wholesale markets such as ERCOT the
+// price and carbon-intensity valleys only partially align (reported
+// correlation coefficient ≈0.16), leaving private-cloud operators with a
+// carbon-cost trade-off of their own.
+type PriceTrace struct {
+	values []float64
+}
+
+// NewPriceTrace wraps hourly prices. Negative prices are allowed (they
+// occur in real markets during renewable oversupply).
+func NewPriceTrace(values []float64) (*PriceTrace, error) {
+	if len(values) == 0 {
+		return nil, errors.New("carbon: price trace needs at least one value")
+	}
+	return &PriceTrace{values: append([]float64(nil), values...)}, nil
+}
+
+// Len returns the number of hourly slots.
+func (p *PriceTrace) Len() int { return len(p.values) }
+
+// At returns the price of the slot containing t (clamped at the edges).
+func (p *PriceTrace) At(t simtime.Time) float64 {
+	i := t.HourIndex()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(p.values) {
+		i = len(p.values) - 1
+	}
+	return p.values[i]
+}
+
+// Values returns a copy of the hourly prices.
+func (p *PriceTrace) Values() []float64 { return append([]float64(nil), p.values...) }
+
+// ERCOTModel generates a paired (carbon, price) hour series resembling the
+// Texas grid: a duck-ish CI profile, demand-driven evening price peaks,
+// occasional scarcity spikes, and a weak positive carbon-price coupling.
+type ERCOTModel struct {
+	// BasePrice is the mean energy price in $/MWh.
+	BasePrice float64
+	// PeakAmp is the diurnal price amplitude in $/MWh.
+	PeakAmp float64
+	// SpikeProb is the per-hour probability of a scarcity spike.
+	SpikeProb float64
+	// SpikeScale is the mean magnitude of scarcity spikes in $/MWh.
+	SpikeScale float64
+	// CarbonCoupling converts CI deviation (g/kWh) into price ($/MWh);
+	// small positive values yield the weak observed correlation.
+	CarbonCoupling float64
+	// NoiseStd is white price noise in $/MWh.
+	NoiseStd float64
+}
+
+// DefaultERCOTModel matches the paper's qualitative description and a
+// correlation coefficient near 0.16 against the generated carbon trace.
+func DefaultERCOTModel() ERCOTModel {
+	return ERCOTModel{
+		BasePrice:      42,
+		PeakAmp:        26,
+		SpikeProb:      0.012,
+		SpikeScale:     260,
+		CarbonCoupling: 0.055,
+		NoiseStd:       11,
+	}
+}
+
+// ercotRegion is the CI model used alongside ERCOT prices (gas-heavy Texas
+// grid with substantial wind and solar).
+var ercotRegion = RegionSpec{
+	Code: "TX-US", Name: "Texas, US (ERCOT)", Class: "Medium/Variable",
+	Mean: 410, DiurnalAmp: 95, Shape: ShapeDuck,
+	SeasonalAmp: 0.08, SeasonalPeakMonth: 7,
+	WeatherStd: 35, WeatherRho: 0.98, NoiseStd: 16, Floor: 150,
+}
+
+// Generate produces hours of paired carbon and price data. The price's
+// diurnal peak is deliberately offset from the CI trough so that on some
+// days the valleys align and on others they conflict (Figure 20).
+func (m ERCOTModel) Generate(hours int, seed int64) (*Trace, *PriceTrace) {
+	ci := ercotRegion.Generate(hours, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	prices := make([]float64, hours)
+	ciMean := ci.Mean()
+	// Per-day renewable-supply weight: on high-renewable days the price
+	// profile follows the solar duck (midday valley aligns with the CI
+	// valley); on low-renewable days it follows demand (evening peak,
+	// overnight valley) and the two valleys conflict.
+	blend := 0.0
+	for i := 0; i < hours; i++ {
+		t := simtime.Time(simtime.Duration(i) * simtime.Hour)
+		hod := t.HourOfDay()
+		if hod == 0 || i == 0 {
+			blend = rng.Float64()
+		}
+		diurnal := blend*duckProfile[hod] + (1-blend)*eveningProfile[hod]
+		v := m.BasePrice + m.PeakAmp*diurnal
+		v += m.CarbonCoupling * (ci.Value(i) - ciMean)
+		v += m.NoiseStd * rng.NormFloat64()
+		if rng.Float64() < m.SpikeProb {
+			v += m.SpikeScale * rng.ExpFloat64()
+		}
+		if v < -20 {
+			v = -20
+		}
+		prices[i] = v
+	}
+	pt, err := NewPriceTrace(prices)
+	if err != nil {
+		panic(err) // unreachable: hours > 0 validated by trace generation
+	}
+	return ci, pt
+}
+
+// CarbonPriceCorrelation computes the Pearson correlation between a carbon
+// trace and a price trace over their common prefix.
+func CarbonPriceCorrelation(ci *Trace, pr *PriceTrace) (float64, error) {
+	n := ci.Len()
+	if pr.Len() < n {
+		n = pr.Len()
+	}
+	cs := make([]float64, n)
+	ps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cs[i] = ci.Value(i)
+		ps[i] = pr.values[i]
+	}
+	return stats.Correlation(cs, ps)
+}

@@ -1,0 +1,92 @@
+package carbon
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestPriceTraceBasics(t *testing.T) {
+	if _, err := NewPriceTrace(nil); err == nil {
+		t.Error("empty price trace should error")
+	}
+	pt, err := NewPriceTrace([]float64{10, -5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Len() != 3 {
+		t.Errorf("Len = %d", pt.Len())
+	}
+	if pt.At(0) != 10 || pt.At(70) != -5 || pt.At(-9) != 10 || pt.At(1e6) != 30 {
+		t.Error("At clamping broken")
+	}
+	vs := pt.Values()
+	vs[0] = 99
+	if pt.At(0) != 10 {
+		t.Error("Values must return a copy")
+	}
+}
+
+func TestERCOTCorrelationBand(t *testing.T) {
+	// The paper reports a carbon-price correlation coefficient of 0.16
+	// for ERCOT; our generator should land in a loose band around it.
+	ci, pr := DefaultERCOTModel().Generate(24*365, 11)
+	r, err := CarbonPriceCorrelation(ci, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.02 || r > 0.45 {
+		t.Errorf("carbon-price correlation = %v, want weakly positive ≈0.16", r)
+	}
+}
+
+func TestERCOTGenerateDeterministic(t *testing.T) {
+	ci1, pr1 := DefaultERCOTModel().Generate(200, 3)
+	ci2, pr2 := DefaultERCOTModel().Generate(200, 3)
+	for i := 0; i < 200; i++ {
+		if ci1.Value(i) != ci2.Value(i) || pr1.values[i] != pr2.values[i] {
+			t.Fatal("same seed must reproduce the pair")
+		}
+	}
+}
+
+func TestERCOTConflictDaysExist(t *testing.T) {
+	// Figure 20's point: on some days the cheapest window is not the
+	// cleanest window. Check both aligned and conflicting days occur.
+	ci, pr := DefaultERCOTModel().Generate(24*120, 11)
+	aligned, conflict := 0, 0
+	for d := 0; d < 120; d++ {
+		argmin := func(vals func(h int) float64) int {
+			best, bh := vals(0), 0
+			for h := 1; h < 24; h++ {
+				if v := vals(h); v < best {
+					best, bh = v, h
+				}
+			}
+			return bh
+		}
+		base := d * 24
+		cMin := argmin(func(h int) float64 { return ci.Value(base + h) })
+		pMin := argmin(func(h int) float64 { return pr.At(simtime.Time(simtime.Duration(base+h) * simtime.Hour)) })
+		diff := cMin - pMin
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff <= 3 {
+			aligned++
+		} else {
+			conflict++
+		}
+	}
+	if aligned == 0 || conflict == 0 {
+		t.Errorf("want both aligned and conflicting days, got %d/%d", aligned, conflict)
+	}
+}
+
+func TestCarbonPriceCorrelationLengthMismatch(t *testing.T) {
+	ci := MustTrace("x", []float64{1, 2, 3, 4})
+	pr, _ := NewPriceTrace([]float64{5, 6})
+	if _, err := CarbonPriceCorrelation(ci, pr); err != nil {
+		t.Errorf("common-prefix correlation should work: %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+package carbon
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// DiurnalShape selects the daily CI profile of a grid.
+type DiurnalShape int
+
+// Supported diurnal profiles.
+const (
+	// ShapeFlat has no daily structure (hydro/nuclear/coal baseload).
+	ShapeFlat DiurnalShape = iota
+	// ShapeDuck is the solar "duck curve": a deep midday trough and an
+	// evening ramp peak (California, South Australia).
+	ShapeDuck
+	// ShapeEvening is a demand-following profile peaking in the evening
+	// with a mild overnight trough (fossil-marginal grids such as NL).
+	ShapeEvening
+)
+
+// duckProfile and eveningProfile are normalized hour-of-day offsets in
+// [-1, 1]; the generator scales them by the region's diurnal amplitude.
+var duckProfile = [24]float64{
+	0.30, 0.20, 0.10, 0.05, 0.10, 0.25, // 00-05 night
+	0.45, 0.55, 0.30, -0.15, -0.55, -0.85, // 06-11 morning, solar rising
+	-1.00, -1.00, -0.95, -0.75, -0.40, 0.15, // 12-17 solar trough, ramp
+	0.70, 1.00, 0.95, 0.80, 0.60, 0.45, // 18-23 evening peak
+}
+
+var eveningProfile = [24]float64{
+	-0.55, -0.70, -0.85, -1.00, -0.95, -0.75, // 00-05 overnight trough
+	-0.35, 0.10, 0.35, 0.40, 0.35, 0.30, // 06-11 morning rise
+	0.25, 0.20, 0.25, 0.35, 0.55, 0.80, // 12-17 afternoon
+	1.00, 0.95, 0.75, 0.40, 0.00, -0.30, // 18-23 evening peak, decline
+}
+
+func (s DiurnalShape) offset(hourOfDay int) float64 {
+	switch s {
+	case ShapeDuck:
+		return duckProfile[hourOfDay]
+	case ShapeEvening:
+		return eveningProfile[hourOfDay]
+	default:
+		return 0
+	}
+}
+
+// RegionSpec parameterizes a synthetic grid region. Generate produces a
+// trace with hourly CI:
+//
+//	CI(t) = seasonal(month) × (Mean + DiurnalAmp·shape(hour) + weather(t) + noise(t))
+//
+// clamped below at Floor, where weather is an AR(1) process capturing
+// multi-day renewable availability swings and noise is white.
+type RegionSpec struct {
+	Code  string // short region code, e.g. "CA-US"
+	Name  string // human-readable name
+	Class string // paper's classification, e.g. "Medium/Variable"
+
+	Mean       float64      // g/kWh, annual mean before seasonal scaling
+	DiurnalAmp float64      // g/kWh amplitude of the daily profile
+	Shape      DiurnalShape // daily profile
+	// SeasonalAmp is the relative amplitude of the annual cosine
+	// (e.g. 1/3 makes the peak month ≈2× the trough month).
+	SeasonalAmp float64
+	// SeasonalPeakMonth is the zero-based month of maximum CI.
+	SeasonalPeakMonth int
+	WeatherStd        float64 // g/kWh std of the AR(1) weather process
+	WeatherRho        float64 // AR(1) coefficient per hour, in [0, 1)
+	NoiseStd          float64 // g/kWh std of the white noise
+	Floor             float64 // minimum CI, g/kWh
+}
+
+// seasonal returns the month multiplier.
+func (s RegionSpec) seasonal(month int) float64 {
+	if s.SeasonalAmp == 0 {
+		return 1
+	}
+	phase := 2 * math.Pi * float64(month-s.SeasonalPeakMonth) / 12
+	return 1 + s.SeasonalAmp*math.Cos(phase)
+}
+
+// Generate produces an hourly trace of the given length. The same
+// (spec, hours, seed) always yields the same trace.
+func (s RegionSpec) Generate(hours int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, hours)
+	var weather float64
+	// Stationary-ish start for AR(1).
+	if s.WeatherRho > 0 && s.WeatherRho < 1 {
+		weather = rng.NormFloat64() * s.WeatherStd
+	}
+	innovStd := s.WeatherStd * math.Sqrt(1-s.WeatherRho*s.WeatherRho)
+	for i := 0; i < hours; i++ {
+		t := simtime.Time(simtime.Duration(i) * simtime.Hour)
+		hod := t.HourOfDay()
+		month := t.Month()
+		weather = s.WeatherRho*weather + innovStd*rng.NormFloat64()
+		v := s.Mean + s.DiurnalAmp*s.Shape.offset(hod) + weather + s.NoiseStd*rng.NormFloat64()
+		v *= s.seasonal(month)
+		if v < s.Floor {
+			v = s.Floor
+		}
+		values[i] = v
+	}
+	return MustTrace(s.Code, values)
+}
+
+// GenerateYear produces one simulated year plus a week of slack so that
+// scheduling windows of jobs arriving near year end stay in range.
+func (s RegionSpec) GenerateYear(seed int64) *Trace {
+	return s.Generate(int((simtime.Year+simtime.Week)/simtime.Hour), seed)
+}
+
+// The six regions evaluated in the paper (Figure 6), calibrated to the
+// reported classes: average intensity Low/Medium/High crossed with
+// Stable/Variable, a ~9× spatial spread across Figure 1's regions
+// (ON-CA vs NL), up to ≈3.4× diurnal swing in California, and South
+// Australia's mean roughly doubling between July and December (Figure 7).
+var (
+	// Sweden: hydro+nuclear, Low/Stable.
+	RegionSE = RegionSpec{
+		Code: "SE", Name: "Sweden", Class: "Low/Stable",
+		Mean: 36, DiurnalAmp: 5, Shape: ShapeEvening,
+		SeasonalAmp: 0.08, SeasonalPeakMonth: 0,
+		WeatherStd: 3, WeatherRho: 0.98, NoiseStd: 1.5, Floor: 15,
+	}
+	// Ontario, Canada: hydro+nuclear, Low/Stable (slightly more varied).
+	RegionONCA = RegionSpec{
+		Code: "ON-CA", Name: "Ontario, Canada", Class: "Low/Stable",
+		Mean: 52, DiurnalAmp: 8, Shape: ShapeEvening,
+		SeasonalAmp: 0.06, SeasonalPeakMonth: 7,
+		WeatherStd: 4, WeatherRho: 0.97, NoiseStd: 2, Floor: 18,
+	}
+	// South Australia: wind+solar dominated, Medium/Variable — the most
+	// volatile grid in the study; CI nearly doubles July→December.
+	RegionSAAU = RegionSpec{
+		Code: "SA-AU", Name: "South Australia", Class: "Medium/Variable",
+		Mean: 265, DiurnalAmp: 190, Shape: ShapeDuck,
+		SeasonalAmp: 0.42, SeasonalPeakMonth: 11,
+		WeatherStd: 65, WeatherRho: 0.992, NoiseStd: 24, Floor: 20,
+	}
+	// California, US: solar duck curve, Medium/Variable.
+	RegionCAUS = RegionSpec{
+		Code: "CA-US", Name: "California, US", Class: "Medium/Variable",
+		Mean: 262, DiurnalAmp: 112, Shape: ShapeDuck,
+		SeasonalAmp: 0.15, SeasonalPeakMonth: 9,
+		WeatherStd: 26, WeatherRho: 0.985, NoiseStd: 14, Floor: 70,
+	}
+	// Netherlands: gas-marginal, Medium-High/Variable.
+	RegionNL = RegionSpec{
+		Code: "NL", Name: "Netherlands", Class: "Medium/Variable",
+		Mean: 430, DiurnalAmp: 92, Shape: ShapeEvening,
+		SeasonalAmp: 0.10, SeasonalPeakMonth: 11,
+		WeatherStd: 38, WeatherRho: 0.985, NoiseStd: 18, Floor: 160,
+	}
+	// Kentucky, US: coal baseload, High/Stable.
+	RegionKYUS = RegionSpec{
+		Code: "KY-US", Name: "Kentucky, US", Class: "High/Stable",
+		Mean: 905, DiurnalAmp: 48, Shape: ShapeEvening,
+		SeasonalAmp: 0.04, SeasonalPeakMonth: 6,
+		WeatherStd: 18, WeatherRho: 0.96, NoiseStd: 10, Floor: 680,
+	}
+)
+
+// Regions lists every built-in region in the paper's Figure 6 order.
+func Regions() []RegionSpec {
+	return []RegionSpec{RegionSE, RegionONCA, RegionSAAU, RegionCAUS, RegionNL, RegionKYUS}
+}
+
+// RegionByCode looks a built-in region up by its code (case-sensitive).
+func RegionByCode(code string) (RegionSpec, error) {
+	for _, r := range Regions() {
+		if r.Code == code {
+			return r, nil
+		}
+	}
+	codes := make([]string, 0, 6)
+	for _, r := range Regions() {
+		codes = append(codes, r.Code)
+	}
+	sort.Strings(codes)
+	return RegionSpec{}, fmt.Errorf("carbon: unknown region %q (have %v)", code, codes)
+}

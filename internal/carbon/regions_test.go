@@ -1,0 +1,155 @@
+package carbon
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestRegionCalibrationBands(t *testing.T) {
+	// Each region's year mean must land near its spec mean and its
+	// variability must match its Stable/Variable class (Figure 6).
+	for _, spec := range Regions() {
+		tr := spec.GenerateYear(1)
+		s := tr.Summary()
+		if math.Abs(s.Mean-spec.Mean)/spec.Mean > 0.15 {
+			t.Errorf("%s: year mean %v, spec %v", spec.Code, s.Mean, spec.Mean)
+		}
+		variable := strings.Contains(spec.Class, "Variable")
+		if variable && s.CV < 0.15 {
+			t.Errorf("%s: classified Variable but CV = %v", spec.Code, s.CV)
+		}
+		if !variable && s.CV > 0.15 {
+			t.Errorf("%s: classified Stable but CV = %v", spec.Code, s.CV)
+		}
+		if s.Min < spec.Floor-1e-9 {
+			t.Errorf("%s: min %v below floor %v", spec.Code, s.Min, spec.Floor)
+		}
+	}
+}
+
+func TestSpatialVariation(t *testing.T) {
+	// Figure 1: ≈9× spread between the cleanest and dirtiest of the three
+	// shown regions (ON-CA vs NL); the full Figure 6 set spreads wider.
+	on := RegionONCA.GenerateYear(1).Mean()
+	nl := RegionNL.GenerateYear(1).Mean()
+	ratio := nl / on
+	if ratio < 6 || ratio > 13 {
+		t.Errorf("NL/ON-CA mean ratio = %v, want ≈9", ratio)
+	}
+}
+
+func TestCaliforniaDiurnalSwing(t *testing.T) {
+	// Figure 1: up to ≈3.37× peak-to-trough within three days in CA.
+	tr := RegionCAUS.Generate(24*90, 1)
+	best := 0.0
+	for day := 0; day+3 <= 90; day++ {
+		iv := simtime.Interval{
+			Start: simtime.Time(simtime.Duration(day) * simtime.Day),
+			End:   simtime.Time(simtime.Duration(day+3) * simtime.Day),
+		}
+		if r := tr.PeakToTrough(iv); r > best {
+			best = r
+		}
+	}
+	if best < 2.2 || best > 6 {
+		t.Errorf("CA 3-day peak/trough max = %v, want ≈3.4", best)
+	}
+}
+
+func TestSouthAustraliaSeasonality(t *testing.T) {
+	// Figure 7: SA-AU mean CI roughly doubles July → December.
+	tr := RegionSAAU.GenerateYear(3)
+	mm := tr.MonthlyMeans()
+	ratio := mm[11] / mm[6]
+	if ratio < 1.5 || ratio > 2.8 {
+		t.Errorf("SA-AU Dec/Jul ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestDuckCurveShape(t *testing.T) {
+	// The duck profile must trough midday and peak in the evening.
+	minH, maxH := 0, 0
+	for h := 1; h < 24; h++ {
+		if duckProfile[h] < duckProfile[minH] {
+			minH = h
+		}
+		if duckProfile[h] > duckProfile[maxH] {
+			maxH = h
+		}
+	}
+	if minH < 10 || minH > 16 {
+		t.Errorf("duck trough at hour %d, want midday", minH)
+	}
+	if maxH < 17 || maxH > 22 {
+		t.Errorf("duck peak at hour %d, want evening", maxH)
+	}
+}
+
+func TestProfilesNormalized(t *testing.T) {
+	for h := 0; h < 24; h++ {
+		if math.Abs(duckProfile[h]) > 1 || math.Abs(eveningProfile[h]) > 1 {
+			t.Fatalf("profile value at hour %d exceeds [-1, 1]", h)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := RegionSAAU.Generate(500, 99)
+	b := RegionSAAU.Generate(500, 99)
+	for i := 0; i < 500; i++ {
+		if a.Value(i) != b.Value(i) {
+			t.Fatal("same seed must generate identical traces")
+		}
+	}
+	c := RegionSAAU.Generate(500, 100)
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Value(i) != c.Value(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should generate different traces")
+	}
+}
+
+func TestGenerateYearLength(t *testing.T) {
+	tr := RegionSE.GenerateYear(1)
+	wantHours := int((simtime.Year + simtime.Week) / simtime.Hour)
+	if tr.Len() != wantHours {
+		t.Errorf("GenerateYear length = %d, want %d", tr.Len(), wantHours)
+	}
+}
+
+func TestRegionByCode(t *testing.T) {
+	r, err := RegionByCode("SA-AU")
+	if err != nil || r.Name != "South Australia" {
+		t.Errorf("RegionByCode = %+v, %v", r, err)
+	}
+	if _, err := RegionByCode("XX"); err == nil {
+		t.Error("unknown code should error")
+	}
+}
+
+func TestFlatShape(t *testing.T) {
+	if ShapeFlat.offset(12) != 0 {
+		t.Error("flat shape must be 0")
+	}
+}
+
+func TestSeasonalMultiplier(t *testing.T) {
+	s := RegionSpec{SeasonalAmp: 1.0 / 3, SeasonalPeakMonth: 11}
+	peak := s.seasonal(11)
+	trough := s.seasonal(5)
+	if math.Abs(peak-4.0/3) > 1e-9 || math.Abs(trough-2.0/3) > 1e-9 {
+		t.Errorf("seasonal peak/trough = %v/%v", peak, trough)
+	}
+	flat := RegionSpec{}
+	if flat.seasonal(3) != 1 {
+		t.Error("zero amplitude should return 1")
+	}
+}

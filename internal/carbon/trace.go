@@ -1,0 +1,221 @@
+// Package carbon models grid carbon intensity: hourly traces with O(1)
+// window integrals, a Carbon Information Service (CIS) abstraction that
+// schedulers consume, synthetic generators for the six grid regions the
+// paper evaluates, and an ERCOT-style energy price model.
+//
+// Carbon intensity (CI) is measured in g·CO2eq/kWh. A job drawing P kW for
+// an interval iv emits P × Trace.Integral(iv) grams, where Integral is the
+// time integral of CI over iv in (g/kWh)·hours.
+package carbon
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/stats"
+)
+
+// Trace is an hourly carbon-intensity time series starting at simulated
+// time 0. Queries outside the covered horizon clamp to the first/last slot
+// so that schedulers probing slightly past the end of a run (e.g. a job
+// arriving in the final hour with a 24 h window) remain well-defined.
+type Trace struct {
+	region string
+	values []float64 // g/kWh per hourly slot
+	prefix []float64 // prefix[i] = sum of values[0:i]
+}
+
+// NewTrace builds a trace from hourly CI values (g/kWh). The slice is
+// copied. It returns an error when values is empty or contains a negative
+// intensity.
+func NewTrace(region string, values []float64) (*Trace, error) {
+	if len(values) == 0 {
+		return nil, errors.New("carbon: trace needs at least one hourly value")
+	}
+	tr := &Trace{
+		region: region,
+		values: append([]float64(nil), values...),
+		prefix: make([]float64, len(values)+1),
+	}
+	for i, v := range tr.values {
+		if v < 0 {
+			return nil, fmt.Errorf("carbon: negative intensity %v at hour %d", v, i)
+		}
+		tr.prefix[i+1] = tr.prefix[i] + v
+	}
+	return tr, nil
+}
+
+// MustTrace is NewTrace that panics on error; for tests and generators
+// whose inputs are valid by construction.
+func MustTrace(region string, values []float64) *Trace {
+	tr, err := NewTrace(region, values)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Region returns the region label.
+func (tr *Trace) Region() string { return tr.region }
+
+// Len returns the number of hourly slots.
+func (tr *Trace) Len() int { return len(tr.values) }
+
+// Horizon returns the covered duration.
+func (tr *Trace) Horizon() simtime.Duration {
+	return simtime.Duration(len(tr.values)) * simtime.Hour
+}
+
+// Values returns a copy of the hourly values.
+func (tr *Trace) Values() []float64 { return append([]float64(nil), tr.values...) }
+
+// clampIndex maps an hour index onto the trace, clamping out-of-range
+// queries to the boundary slots.
+func (tr *Trace) clampIndex(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= len(tr.values) {
+		return len(tr.values) - 1
+	}
+	return i
+}
+
+// At returns the carbon intensity of the slot containing t.
+func (tr *Trace) At(t simtime.Time) float64 {
+	return tr.values[tr.clampIndex(t.HourIndex())]
+}
+
+// Value returns the intensity of hourly slot i (clamped).
+func (tr *Trace) Value(i int) float64 { return tr.values[tr.clampIndex(i)] }
+
+// Integral returns the time integral of CI over iv, in (g/kWh)·hours.
+// Multiplying by a power draw in kW yields grams of CO2eq. Minutes are
+// weighted by their slot's intensity; out-of-range portions clamp to the
+// boundary slots.
+func (tr *Trace) Integral(iv simtime.Interval) float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	// Clamp the interval to the covered horizon, accounting for the
+	// clamped boundary slots explicitly.
+	var total float64
+	start, end := iv.Start, iv.End
+	if start < 0 {
+		pre := simtime.MinTime(end, 0).Sub(start)
+		total += tr.values[0] * pre.Hours()
+		start = 0
+		if end < start {
+			return total
+		}
+	}
+	horizonEnd := simtime.Time(tr.Horizon())
+	if end > horizonEnd {
+		post := end.Sub(simtime.MaxTime(start, horizonEnd))
+		total += tr.values[len(tr.values)-1] * post.Hours()
+		end = horizonEnd
+		if end < start {
+			return total
+		}
+	}
+	if end <= start {
+		return total
+	}
+
+	first := start.HourIndex()
+	last := (end - 1).HourIndex() // slot containing the final minute
+	if first == last {
+		return total + tr.values[first]*end.Sub(start).Hours()
+	}
+	// Partial first slot.
+	firstSlotEnd := simtime.Time(first+1) * simtime.Time(simtime.Hour)
+	total += tr.values[first] * firstSlotEnd.Sub(start).Hours()
+	// Whole middle slots via prefix sums.
+	total += tr.prefix[last] - tr.prefix[first+1]
+	// Partial last slot.
+	lastSlotStart := simtime.Time(last) * simtime.Time(simtime.Hour)
+	total += tr.values[last] * end.Sub(lastSlotStart).Hours()
+	return total
+}
+
+// MeanOver returns the average CI over iv, or 0 for an empty interval.
+func (tr *Trace) MeanOver(iv simtime.Interval) float64 {
+	if iv.Len() == 0 {
+		return 0
+	}
+	return tr.Integral(iv) / iv.Len().Hours()
+}
+
+// Mean returns the average CI over the whole trace.
+func (tr *Trace) Mean() float64 { return tr.prefix[len(tr.values)] / float64(len(tr.values)) }
+
+// Stats summarizes a trace: used to classify regions (Figure 6).
+type Stats struct {
+	Mean, Std, CV, Min, Max float64
+}
+
+// Summary computes trace statistics.
+func (tr *Trace) Summary() Stats {
+	min, max, _ := stats.MinMax(tr.values)
+	return Stats{
+		Mean: tr.Mean(),
+		Std:  stats.StdDev(tr.values),
+		CV:   stats.CV(tr.values),
+		Min:  min,
+		Max:  max,
+	}
+}
+
+// Slice returns a sub-trace covering hourly slots [from, to).
+// Indices are clamped; an inverted range returns an error.
+func (tr *Trace) Slice(from, to int) (*Trace, error) {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(tr.values) {
+		to = len(tr.values)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("carbon: empty slice [%d, %d)", from, to)
+	}
+	return NewTrace(tr.region, tr.values[from:to])
+}
+
+// MonthlyMeans returns the mean CI per month for the first simulated year
+// of the trace (Figure 7). Months not covered by the trace report 0.
+func (tr *Trace) MonthlyMeans() [12]float64 {
+	var out [12]float64
+	for m := 0; m < 12; m++ {
+		iv := simtime.MonthInterval(m)
+		if simtime.Time(tr.Horizon()) <= iv.Start {
+			break
+		}
+		iv = iv.Intersect(simtime.Interval{Start: 0, End: simtime.Time(tr.Horizon())})
+		out[m] = tr.MeanOver(iv)
+	}
+	return out
+}
+
+// PeakToTrough returns max/min CI over the window iv — the paper's
+// "temporal variation" factor (Figure 1 reports up to 3.37× for
+// California). It returns 0 when the minimum is 0.
+func (tr *Trace) PeakToTrough(iv simtime.Interval) float64 {
+	first := iv.Start.HourIndex()
+	last := (iv.End - 1).HourIndex()
+	min, max := tr.Value(first), tr.Value(first)
+	for i := first + 1; i <= last; i++ {
+		v := tr.Value(i)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return max / min
+}

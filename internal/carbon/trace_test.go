@@ -1,0 +1,222 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace("x", nil); err == nil {
+		t.Error("empty trace should error")
+	}
+	if _, err := NewTrace("x", []float64{10, -1}); err == nil {
+		t.Error("negative intensity should error")
+	}
+	tr, err := NewTrace("x", []float64{10, 20})
+	if err != nil || tr.Len() != 2 || tr.Region() != "x" {
+		t.Errorf("NewTrace = %v, %v", tr, err)
+	}
+}
+
+func TestMustTracePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustTrace("x", nil)
+}
+
+func TestAtAndClamping(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 200, 300})
+	tests := []struct {
+		t    simtime.Time
+		want float64
+	}{
+		{0, 100},
+		{59, 100},
+		{60, 200},
+		{179, 300},
+		{-10, 100},  // clamps before start
+		{9999, 300}, // clamps past end
+	}
+	for _, tt := range tests {
+		if got := tr.At(tt.t); got != tt.want {
+			t.Errorf("At(%d) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestIntegralExact(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 200, 300})
+	tests := []struct {
+		iv   simtime.Interval
+		want float64
+	}{
+		{simtime.Interval{Start: 0, End: 60}, 100},
+		{simtime.Interval{Start: 0, End: 180}, 600},
+		{simtime.Interval{Start: 30, End: 90}, 50 + 100},
+		{simtime.Interval{Start: 30, End: 30}, 0},
+		{simtime.Interval{Start: 90, End: 150}, 100 + 150},
+		{simtime.Interval{Start: 0, End: 90}, 100 + 100},
+		{simtime.Interval{Start: 45, End: 60}, 25},
+		// Clamped: 1h before start at first value + first slot.
+		{simtime.Interval{Start: -60, End: 60}, 100 + 100},
+		// Clamped: last slot + 2h beyond end at last value.
+		{simtime.Interval{Start: 120, End: 300}, 300 + 600},
+		// Entirely beyond end.
+		{simtime.Interval{Start: 300, End: 360}, 300},
+		// Entirely before start.
+		{simtime.Interval{Start: -120, End: -60}, 100},
+	}
+	for _, tt := range tests {
+		if got := tr.Integral(tt.iv); !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("Integral(%v) = %v, want %v", tt.iv, got, tt.want)
+		}
+	}
+}
+
+// Property: prefix-sum Integral equals a naive per-minute sum.
+func TestIntegralMatchesNaive(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 250, 50, 400, 175, 300})
+	naive := func(iv simtime.Interval) float64 {
+		var sum float64
+		for m := iv.Start; m < iv.End; m++ {
+			sum += tr.At(m) / 60
+		}
+		return sum
+	}
+	f := func(a, b uint16) bool {
+		s := simtime.Time(a % 400)
+		e := simtime.Time(b % 400)
+		if s > e {
+			s, e = e, s
+		}
+		iv := simtime.Interval{Start: s, End: e}
+		return almostEq(tr.Integral(iv), naive(iv), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Integral is additive over adjacent intervals.
+func TestIntegralAdditive(t *testing.T) {
+	tr := RegionCAUS.Generate(100, 7)
+	f := func(a, b, c uint16) bool {
+		ts := []simtime.Time{simtime.Time(a % 6000), simtime.Time(b % 6000), simtime.Time(c % 6000)}
+		if ts[0] > ts[1] {
+			ts[0], ts[1] = ts[1], ts[0]
+		}
+		if ts[1] > ts[2] {
+			ts[1], ts[2] = ts[2], ts[1]
+		}
+		if ts[0] > ts[1] {
+			ts[0], ts[1] = ts[1], ts[0]
+		}
+		whole := tr.Integral(simtime.Interval{Start: ts[0], End: ts[2]})
+		split := tr.Integral(simtime.Interval{Start: ts[0], End: ts[1]}) +
+			tr.Integral(simtime.Interval{Start: ts[1], End: ts[2]})
+		return almostEq(whole, split, 1e-6*(1+math.Abs(whole)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanOver(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 300})
+	iv := simtime.Interval{Start: 0, End: 120}
+	if got := tr.MeanOver(iv); !almostEq(got, 200, 1e-9) {
+		t.Errorf("MeanOver = %v", got)
+	}
+	if tr.MeanOver(simtime.Interval{Start: 5, End: 5}) != 0 {
+		t.Error("empty interval mean should be 0")
+	}
+	if got := tr.Mean(); !almostEq(got, 200, 1e-9) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 200, 300, 400})
+	s := tr.Summary()
+	if s.Mean != 250 || s.Min != 100 || s.Max != 400 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.CV <= 0 || s.Std <= 0 {
+		t.Errorf("Summary variability = %+v", s)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := MustTrace("x", []float64{1, 2, 3, 4, 5})
+	sub, err := tr.Slice(1, 3)
+	if err != nil || sub.Len() != 2 || sub.Value(0) != 2 {
+		t.Errorf("Slice = %v, %v", sub, err)
+	}
+	// Clamping.
+	sub, err = tr.Slice(-5, 100)
+	if err != nil || sub.Len() != 5 {
+		t.Errorf("clamped Slice = %v, %v", sub, err)
+	}
+	if _, err := tr.Slice(3, 3); err == nil {
+		t.Error("empty slice should error")
+	}
+}
+
+func TestPeakToTrough(t *testing.T) {
+	tr := MustTrace("x", []float64{100, 300, 200})
+	iv := simtime.Interval{Start: 0, End: 180}
+	if got := tr.PeakToTrough(iv); !almostEq(got, 3, 1e-9) {
+		t.Errorf("PeakToTrough = %v", got)
+	}
+	zero := MustTrace("x", []float64{0, 10})
+	if zero.PeakToTrough(simtime.Interval{Start: 0, End: 120}) != 0 {
+		t.Error("zero-min should return 0")
+	}
+}
+
+func TestMonthlyMeans(t *testing.T) {
+	// Constant trace: every covered month reports the constant.
+	hours := int(simtime.Year / simtime.Hour)
+	vals := make([]float64, hours)
+	for i := range vals {
+		vals[i] = 42
+	}
+	tr := MustTrace("x", vals)
+	mm := tr.MonthlyMeans()
+	for m, v := range mm {
+		if !almostEq(v, 42, 1e-9) {
+			t.Errorf("month %d mean = %v", m, v)
+		}
+	}
+	// Short trace: only January covered.
+	short := MustTrace("x", []float64{10, 10})
+	mm = short.MonthlyMeans()
+	if !almostEq(mm[0], 10, 1e-9) {
+		t.Errorf("short trace January = %v", mm[0])
+	}
+	if mm[1] != 0 {
+		t.Errorf("short trace February = %v, want 0", mm[1])
+	}
+}
+
+func TestValuesCopied(t *testing.T) {
+	src := []float64{1, 2, 3}
+	tr := MustTrace("x", src)
+	src[0] = 99
+	if tr.Value(0) != 1 {
+		t.Error("NewTrace must copy its input")
+	}
+	vs := tr.Values()
+	vs[1] = 99
+	if tr.Value(1) != 2 {
+		t.Error("Values must return a copy")
+	}
+}

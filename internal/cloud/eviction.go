@@ -1,0 +1,75 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// EvictionModel is the spot revocation process: in each full hour a
+// running spot allocation survives with probability 1−HourlyRate
+// (the paper's "eviction rate ... percent of evicted customers in a time
+// slot, e.g., an hour"). Eviction ends the allocation at the end of that
+// hour of runtime; the paper assumes all progress is lost.
+type EvictionModel struct {
+	// HourlyRate is the per-hour eviction probability in [0, 1).
+	HourlyRate float64
+	rng        *rand.Rand
+}
+
+// NewEvictionModel creates an eviction process with the given per-hour
+// rate, seeded for reproducibility.
+func NewEvictionModel(hourlyRate float64, seed int64) (*EvictionModel, error) {
+	if hourlyRate < 0 || hourlyRate >= 1 {
+		return nil, fmt.Errorf("cloud: eviction rate %v must be in [0, 1)", hourlyRate)
+	}
+	return &EvictionModel{HourlyRate: hourlyRate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// SampleEviction draws the eviction instant for a spot allocation that
+// starts at start and would otherwise run for length. It returns
+// (evictAt, true) when the allocation is evicted before completing, or
+// (0, false) when it survives. Eviction lands on whole run-hours, after at
+// least one hour of runtime.
+func (e *EvictionModel) SampleEviction(start simtime.Time, length simtime.Duration) (simtime.Time, bool) {
+	if e.HourlyRate == 0 || length <= 0 {
+		return 0, false
+	}
+	// The allocation faces one eviction check at every whole run-hour
+	// boundary strictly before completion: a 90 min job is checked once
+	// (at 60 min), a 3 h job twice. Geometric sampling: P(pass h checks,
+	// fail check h+1) = (1-p)^h · p.
+	checks := evictionChecks(length)
+	if checks == 0 {
+		return 0, false
+	}
+	u := e.rng.Float64()
+	h := int(math.Floor(math.Log(u) / math.Log(1-e.HourlyRate)))
+	if h >= checks {
+		return 0, false
+	}
+	return start.Add(simtime.Duration(h+1) * simtime.Hour), true
+}
+
+// evictionChecks counts the whole run-hour boundaries strictly inside
+// (0, length) at which an eviction can strike.
+func evictionChecks(length simtime.Duration) int {
+	if length <= simtime.Hour {
+		if length == simtime.Hour {
+			return 0
+		}
+		return 0
+	}
+	return int((length - 1) / simtime.Hour)
+}
+
+// SurvivalProbability returns the probability that an allocation of the
+// given length completes without eviction.
+func (e *EvictionModel) SurvivalProbability(length simtime.Duration) float64 {
+	if e.HourlyRate == 0 || length <= 0 {
+		return 1
+	}
+	return math.Pow(1-e.HourlyRate, float64(evictionChecks(length)))
+}

@@ -1,0 +1,132 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestEvictionModelValidation(t *testing.T) {
+	for _, r := range []float64{-0.1, 1, 1.5} {
+		if _, err := NewEvictionModel(r, 1); err == nil {
+			t.Errorf("rate %v should error", r)
+		}
+	}
+	if _, err := NewEvictionModel(0, 1); err != nil {
+		t.Errorf("rate 0 should be valid: %v", err)
+	}
+}
+
+func TestZeroRateNeverEvicts(t *testing.T) {
+	e, _ := NewEvictionModel(0, 1)
+	for i := 0; i < 100; i++ {
+		if _, ev := e.SampleEviction(0, 24*simtime.Hour); ev {
+			t.Fatal("zero rate must never evict")
+		}
+	}
+	if e.SurvivalProbability(24*simtime.Hour) != 1 {
+		t.Error("zero-rate survival should be 1")
+	}
+}
+
+func TestShortJobsNeverEvicted(t *testing.T) {
+	// Jobs with no whole run-hour boundary before completion face no
+	// eviction check in this hourly model.
+	e, _ := NewEvictionModel(0.5, 1)
+	for i := 0; i < 200; i++ {
+		if _, ev := e.SampleEviction(0, simtime.Hour); ev {
+			t.Fatal("1 h job has no interior check")
+		}
+		if _, ev := e.SampleEviction(0, 30*simtime.Minute); ev {
+			t.Fatal("30 min job has no interior check")
+		}
+	}
+	if e.SurvivalProbability(simtime.Hour) != 1 {
+		t.Error("1 h survival should be 1")
+	}
+}
+
+func TestEvictionChecksCounting(t *testing.T) {
+	tests := []struct {
+		length simtime.Duration
+		want   int
+	}{
+		{30 * simtime.Minute, 0},
+		{simtime.Hour, 0},
+		{simtime.Hour + 1, 1},
+		{90 * simtime.Minute, 1},
+		{2 * simtime.Hour, 1},
+		{2*simtime.Hour + 1, 2},
+		{24 * simtime.Hour, 23},
+	}
+	for _, tt := range tests {
+		if got := evictionChecks(tt.length); got != tt.want {
+			t.Errorf("evictionChecks(%v) = %d, want %d", tt.length, got, tt.want)
+		}
+	}
+}
+
+func TestEvictionRateEmpirical(t *testing.T) {
+	// 10 %/h rate over a 6 h job: survival should be ≈ 0.9^5 ≈ 0.59.
+	e, _ := NewEvictionModel(0.10, 42)
+	length := 6 * simtime.Hour
+	want := e.SurvivalProbability(length)
+	if math.Abs(want-math.Pow(0.9, 5)) > 1e-12 {
+		t.Fatalf("analytic survival = %v", want)
+	}
+	const n = 20000
+	survived := 0
+	for i := 0; i < n; i++ {
+		if _, ev := e.SampleEviction(0, length); !ev {
+			survived++
+		}
+	}
+	got := float64(survived) / n
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical survival %v, want %v", got, want)
+	}
+}
+
+func TestEvictionTimesValid(t *testing.T) {
+	e, _ := NewEvictionModel(0.3, 7)
+	start := simtime.Time(90)
+	length := 10 * simtime.Hour
+	for i := 0; i < 2000; i++ {
+		at, ev := e.SampleEviction(start, length)
+		if !ev {
+			continue
+		}
+		ran := at.Sub(start)
+		if ran <= 0 || ran >= length {
+			t.Fatalf("eviction after %v of a %v job", ran, length)
+		}
+		if ran%simtime.Hour != 0 {
+			t.Fatalf("eviction at non-hour runtime %v", ran)
+		}
+	}
+}
+
+func TestEvictionDeterministic(t *testing.T) {
+	a, _ := NewEvictionModel(0.2, 5)
+	b, _ := NewEvictionModel(0.2, 5)
+	for i := 0; i < 100; i++ {
+		at1, ev1 := a.SampleEviction(0, 8*simtime.Hour)
+		at2, ev2 := b.SampleEviction(0, 8*simtime.Hour)
+		if at1 != at2 || ev1 != ev2 {
+			t.Fatal("same seed must sample identically")
+		}
+	}
+}
+
+func TestSurvivalMonotoneInLength(t *testing.T) {
+	e, _ := NewEvictionModel(0.15, 1)
+	prev := 1.0
+	for h := 1; h <= 48; h++ {
+		s := e.SurvivalProbability(simtime.Duration(h) * simtime.Hour)
+		if s > prev+1e-12 {
+			t.Fatalf("survival increased at %dh", h)
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,53 @@
+package cloud
+
+import "fmt"
+
+// ReservedPool tracks the fixed reserved capacity. It is plain
+// bookkeeping: the scheduler decides placement; the pool only enforces the
+// capacity invariant.
+type ReservedPool struct {
+	capacity int
+	inUse    int
+}
+
+// NewReservedPool creates a pool of n reserved CPU units (n >= 0).
+func NewReservedPool(n int) (*ReservedPool, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cloud: reserved capacity %d must be non-negative", n)
+	}
+	return &ReservedPool{capacity: n}, nil
+}
+
+// Capacity returns the pool size.
+func (p *ReservedPool) Capacity() int { return p.capacity }
+
+// Idle returns the number of currently unoccupied reserved units.
+func (p *ReservedPool) Idle() int { return p.capacity - p.inUse }
+
+// InUse returns the number of occupied reserved units.
+func (p *ReservedPool) InUse() int { return p.inUse }
+
+// Acquire takes up to want units and returns how many were granted
+// (possibly 0). Granting fewer than requested lets a job straddle reserved
+// and on-demand capacity.
+func (p *ReservedPool) Acquire(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	got := want
+	if idle := p.Idle(); got > idle {
+		got = idle
+	}
+	p.inUse += got
+	return got
+}
+
+// Release returns n units to the pool. It panics if the release would
+// exceed the pool's occupancy — that is always a scheduler bug worth
+// failing loudly on.
+func (p *ReservedPool) Release(n int) {
+	if n < 0 || n > p.inUse {
+		panic(fmt.Sprintf("cloud: releasing %d units with %d in use", n, p.inUse))
+	}
+	p.inUse -= n
+}

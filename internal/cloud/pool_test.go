@@ -1,0 +1,88 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p, err := NewReservedPool(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 5 || p.Idle() != 5 || p.InUse() != 0 {
+		t.Fatal("fresh pool state wrong")
+	}
+	if got := p.Acquire(3); got != 3 {
+		t.Errorf("Acquire(3) = %d", got)
+	}
+	if got := p.Acquire(4); got != 2 {
+		t.Errorf("Acquire(4) over capacity = %d", got)
+	}
+	if p.Idle() != 0 || p.InUse() != 5 {
+		t.Fatal("full pool state wrong")
+	}
+	if got := p.Acquire(1); got != 0 {
+		t.Errorf("Acquire on full pool = %d", got)
+	}
+	p.Release(2)
+	if p.Idle() != 2 {
+		t.Errorf("Idle after release = %d", p.Idle())
+	}
+	if got := p.Acquire(0); got != 0 {
+		t.Errorf("Acquire(0) = %d", got)
+	}
+	if got := p.Acquire(-3); got != 0 {
+		t.Errorf("Acquire(-3) = %d", got)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewReservedPool(-1); err == nil {
+		t.Error("negative capacity should error")
+	}
+	if p, err := NewReservedPool(0); err != nil || p.Acquire(5) != 0 {
+		t.Error("zero-capacity pool should grant nothing")
+	}
+}
+
+func TestPoolReleasePanics(t *testing.T) {
+	p, _ := NewReservedPool(2)
+	p.Acquire(1)
+	for _, n := range []int{2, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Release(%d) should panic", n)
+				}
+			}()
+			p.Release(n)
+		}()
+	}
+}
+
+// Property: occupancy never exceeds capacity or goes negative under any
+// acquire/release sequence.
+func TestPoolInvariant(t *testing.T) {
+	f := func(ops []int8) bool {
+		p, _ := NewReservedPool(10)
+		for _, op := range ops {
+			if op >= 0 {
+				p.Acquire(int(op))
+			} else {
+				n := -int(op) // negate in int to avoid int8 overflow at -128
+				if n > p.InUse() {
+					n = p.InUse()
+				}
+				p.Release(n)
+			}
+			if p.InUse() < 0 || p.InUse() > p.Capacity() || p.Idle()+p.InUse() != p.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

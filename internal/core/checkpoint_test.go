@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func TestCheckpointedSpotCleanRun(t *testing.T) {
+	tr := flatTrace(48, 100)
+	cfg := baseConfig(tr, policy.NoWait{})
+	cfg.SpotMaxLen = 10 * simtime.Hour
+	cfg.CheckpointInterval = simtime.Hour
+	cfg.CheckpointOverhead = 6 * simtime.Minute
+	res, err := Run(cfg, oneJob(3*simtime.Hour, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	// 3 h job with checkpoints at 1 h and 2 h of work: padded by 12 min.
+	wantLen := 3*simtime.Hour + 12*simtime.Minute
+	if j.Finish != simtime.Time(wantLen) {
+		t.Errorf("finish = %v, want %v", j.Finish, wantLen)
+	}
+	if j.Evictions != 0 || j.WastedCPUHours != 0 {
+		t.Errorf("clean run should have no waste: %+v", j)
+	}
+	// The overhead counts as waiting (delay beyond pure execution).
+	if j.Waiting != 12*simtime.Minute {
+		t.Errorf("waiting = %v", j.Waiting)
+	}
+	if math.Abs(j.CPUHours[cloud.Spot]-wantLen.Hours()) > 1e-9 {
+		t.Errorf("spot hours = %v", j.CPUHours[cloud.Spot])
+	}
+}
+
+func TestCheckpointedSpotEvictionKeepsProgress(t *testing.T) {
+	tr := flatTrace(100, 100)
+	cfg := baseConfig(tr, policy.NoWait{})
+	cfg.SpotMaxLen = 24 * simtime.Hour
+	cfg.EvictionRate = 0.95 // evict at the first check (1 h of runtime)
+	cfg.Seed = 1
+	cfg.CheckpointInterval = 30 * simtime.Minute
+	cfg.CheckpointOverhead = 5 * simtime.Minute
+	res, err := Run(cfg, oneJob(8*simtime.Hour, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.Evictions != 1 {
+		t.Fatalf("evictions = %d", j.Evictions)
+	}
+	// Evicted after 60 min of runtime = 1 full cycle (30 work + 5 ck)
+	// plus 25 min into the second cycle: 30 min of work saved.
+	savedWork := 30 * simtime.Minute
+	remaining := 8*simtime.Hour - savedWork
+	wantFinish := simtime.Time(simtime.Hour).Add(remaining)
+	if j.Finish != wantFinish {
+		t.Errorf("finish = %v, want %v", j.Finish, wantFinish)
+	}
+	// Waste is the evicted hour minus the saved work.
+	if math.Abs(j.WastedCPUHours-0.5) > 1e-9 {
+		t.Errorf("wasted = %v, want 0.5", j.WastedCPUHours)
+	}
+	// Without checkpointing the same seed loses the full hour and reruns
+	// all 8 h: checkpointing must finish earlier and waste less.
+	cfg2 := cfg
+	cfg2.CheckpointInterval, cfg2.CheckpointOverhead = 0, 0
+	res2, err := Run(cfg2, oneJob(8*simtime.Hour, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := res2.Jobs[0]
+	if plain.Evictions == 1 {
+		if j.Finish >= plain.Finish {
+			t.Errorf("checkpointed finish %v should beat plain %v", j.Finish, plain.Finish)
+		}
+		if j.WastedCPUHours >= plain.WastedCPUHours {
+			t.Errorf("checkpointed waste %v should beat plain %v", j.WastedCPUHours, plain.WastedCPUHours)
+		}
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	tr := flatTrace(10, 100)
+	cfg := baseConfig(tr, policy.NoWait{})
+	cfg.CheckpointInterval = -1
+	if _, err := Run(cfg, oneJob(simtime.Hour, 1)); err == nil {
+		t.Error("negative interval should error")
+	}
+}
+
+func TestCheckpointDefaultOverhead(t *testing.T) {
+	tr := flatTrace(10, 100)
+	cfg := Config{Policy: policy.NoWait{}, Carbon: tr, CheckpointInterval: simtime.Hour}
+	got := cfg.withDefaults()
+	if got.CheckpointOverhead != 2*simtime.Minute {
+		t.Errorf("default overhead = %v", got.CheckpointOverhead)
+	}
+}
+
+func TestCheckpointedAccountingIdentity(t *testing.T) {
+	tr := flatTrace(24*20, 150)
+	cfg := baseConfig(tr, policy.CarbonTime{})
+	cfg.SpotMaxLen = 12 * simtime.Hour
+	cfg.EvictionRate = 0.2
+	cfg.Seed = 9
+	cfg.CheckpointInterval = simtime.Hour
+	cfg.CheckpointOverhead = 3 * simtime.Minute
+	jobs := workload.AlibabaPAIWeek().GenerateByCount(newRand(3), 100, simtime.Week)
+	res, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		var billed float64
+		for _, h := range j.CPUHours {
+			billed += h
+		}
+		// Billed = useful length + checkpoint overheads (clean part) +
+		// waste. Lower bound: at least the job volume.
+		if billed+1e-9 < float64(j.CPUs)*j.Length.Hours() {
+			t.Fatalf("job %d billed %v < volume", j.JobID, billed)
+		}
+		if j.WastedCPUHours < 0 {
+			t.Fatalf("negative waste on job %d", j.JobID)
+		}
+	}
+}

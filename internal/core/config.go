@@ -1,0 +1,264 @@
+// Package core implements GAIA, the carbon-, performance- and cost-aware
+// cloud batch scheduler that is the paper's contribution. It wires the
+// substrates together: jobs arrive from a workload trace, a policy picks
+// start times (or suspend-resume plans) using the Carbon Information
+// Service, and the resource manager places execution on reserved,
+// on-demand and spot capacity while the accounting layer tracks carbon,
+// cost and waiting time.
+//
+// The cost-aware mechanisms are configuration, orthogonal to the policy:
+//
+//   - Config.WorkConserving enables RES-First behaviour: an arriving job
+//     starts immediately when it fits in idle reserved capacity, and a
+//     waiting job is started early the moment reserved units free up.
+//   - Config.SpotMaxLen enables Spot-First behaviour: jobs no longer than
+//     the limit run on spot instances at the policy's carbon-aware start
+//     and restart on on-demand capacity if evicted.
+//   - Setting both reproduces the paper's combined Spot-RES policy.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Config describes one GAIA cluster run.
+type Config struct {
+	// Label names the configuration in results; empty derives
+	// "<modifiers><policy>" automatically.
+	Label string
+
+	// Policy chooses job start times. Required.
+	Policy policy.Policy
+
+	// Carbon is the realized carbon-intensity trace. Required.
+	Carbon *carbon.Trace
+
+	// CIS is the forecast service policies consult; nil wraps Carbon in
+	// a perfect-knowledge service (the paper's assumption).
+	CIS carbon.Service
+
+	// Reserved is the pre-paid reserved capacity in CPU units.
+	Reserved int
+
+	// WorkConserving enables RES-First early starts on idle reserved
+	// capacity. It requires an uninterruptible (start-based) policy.
+	WorkConserving bool
+
+	// SpotMaxLen routes jobs of at most this length to spot instances
+	// (0 disables spot). The paper uses the short queue's bound (2 h) by
+	// default and sweeps this "J^max" in Figures 18-19.
+	SpotMaxLen simtime.Duration
+
+	// EvictionRate is the hourly spot eviction probability in [0, 1).
+	EvictionRate float64
+
+	// CheckpointInterval enables checkpoint/restart for spot executions
+	// (0 = disabled, the paper's default assumption of full progress
+	// loss). A running spot job checkpoints after every interval of
+	// useful work; an eviction then loses only the progress since the
+	// last checkpoint, and the job resumes the remainder on on-demand
+	// capacity. This realizes the checkpointing-overhead vs eviction
+	// trade-off the paper defers to future work (§4.2.4).
+	CheckpointInterval simtime.Duration
+
+	// CheckpointOverhead is the runtime added per checkpoint
+	// (default 2 min when checkpointing is enabled).
+	CheckpointOverhead simtime.Duration
+
+	// Pricing is the price book; zero value uses cloud.DefaultPricing.
+	Pricing cloud.Pricing
+
+	// Power is the energy model; zero value uses cloud.DefaultPower.
+	Power cloud.Power
+
+	// ShortMax is the short queue's maximum job length (default 2 h).
+	ShortMax simtime.Duration
+
+	// WaitShort / WaitLong are the queues' maximum waiting times
+	// (defaults 6 h / 24 h, the paper's configuration). A negative value
+	// means an explicit zero wait (0 selects the default).
+	WaitShort, WaitLong simtime.Duration
+
+	// Queues optionally replaces the two-queue configuration above with
+	// an arbitrary ascending ladder of length classes (§4.2: "our
+	// policies can be extended to an arbitrary number of queues"). The
+	// last entry's MaxLength may be 0 (unbounded). When set, ShortMax,
+	// WaitShort and WaitLong are ignored.
+	Queues []QueueSpec
+
+	// Horizon is the accounting horizon; reserved capacity is paid for
+	// all of it. Zero uses the carbon trace's horizon.
+	Horizon simtime.Duration
+
+	// AvgLengthOverride replaces the queue-average length estimates that
+	// length-oblivious policies consult (by default they are computed
+	// from the trace). Used for estimate-quality sensitivity studies.
+	AvgLengthOverride map[workload.Queue]simtime.Duration
+
+	// Seed drives the spot eviction process.
+	Seed int64
+}
+
+// QueueSpec configures one job-length queue: the inclusive length bound
+// that routes jobs into it and the maximum waiting time W the scheduler
+// guarantees for it.
+type QueueSpec struct {
+	// MaxLength is the queue's inclusive job-length bound; 0 on the last
+	// queue means unbounded.
+	MaxLength simtime.Duration
+	// MaxWait is the queue's waiting-time guarantee. Like the top-level
+	// wait fields, a negative value means an explicit zero.
+	MaxWait simtime.Duration
+}
+
+// withDefaults returns a copy with zero values filled in.
+func (c Config) withDefaults() Config {
+	if c.CIS == nil && c.Carbon != nil {
+		c.CIS = carbon.NewPerfectService(c.Carbon)
+	}
+	if c.Pricing == (cloud.Pricing{}) {
+		c.Pricing = cloud.DefaultPricing()
+	}
+	if c.Power == (cloud.Power{}) {
+		c.Power = cloud.DefaultPower()
+	}
+	if c.ShortMax == 0 {
+		c.ShortMax = 2 * simtime.Hour
+	}
+	switch {
+	case c.WaitShort == 0:
+		c.WaitShort = 6 * simtime.Hour
+	case c.WaitShort < 0:
+		c.WaitShort = 0
+	}
+	switch {
+	case c.WaitLong == 0:
+		c.WaitLong = 24 * simtime.Hour
+	case c.WaitLong < 0:
+		c.WaitLong = 0
+	}
+	if len(c.Queues) == 0 {
+		c.Queues = []QueueSpec{
+			{MaxLength: c.ShortMax, MaxWait: c.WaitShort},
+			{MaxLength: 0, MaxWait: c.WaitLong},
+		}
+	} else {
+		qs := append([]QueueSpec(nil), c.Queues...)
+		for i := range qs {
+			if qs[i].MaxWait < 0 {
+				qs[i].MaxWait = 0
+			}
+		}
+		c.Queues = qs
+	}
+	if c.Horizon == 0 && c.Carbon != nil {
+		c.Horizon = c.Carbon.Horizon()
+	}
+	if c.CheckpointInterval > 0 && c.CheckpointOverhead == 0 {
+		c.CheckpointOverhead = 2 * simtime.Minute
+	}
+	if c.Label == "" {
+		c.Label = c.deriveLabel()
+	}
+	return c
+}
+
+// deriveLabel builds the paper-style configuration name.
+func (c Config) deriveLabel() string {
+	name := ""
+	if c.Policy != nil {
+		name = c.Policy.Name()
+	}
+	switch {
+	case c.SpotMaxLen > 0 && c.Reserved > 0:
+		return "Spot-RES-" + name
+	case c.SpotMaxLen > 0:
+		return "Spot-First-" + name
+	case c.WorkConserving && c.Reserved >= 0 && name != "AllWait-Threshold" && name != "NoWait":
+		return "RES-First-" + name
+	default:
+		return name
+	}
+}
+
+// validate checks a defaulted config.
+func (c Config) validate() error {
+	if c.Policy == nil {
+		return errors.New("core: config needs a policy")
+	}
+	if c.Carbon == nil {
+		return errors.New("core: config needs a carbon trace")
+	}
+	if c.Reserved < 0 {
+		return fmt.Errorf("core: reserved capacity %d must be non-negative", c.Reserved)
+	}
+	if err := c.Pricing.Validate(); err != nil {
+		return err
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	if c.EvictionRate < 0 || c.EvictionRate >= 1 {
+		return fmt.Errorf("core: eviction rate %v must be in [0, 1)", c.EvictionRate)
+	}
+	if c.SpotMaxLen < 0 {
+		return fmt.Errorf("core: spot max length %v must be non-negative", c.SpotMaxLen)
+	}
+	if c.CheckpointInterval < 0 || c.CheckpointOverhead < 0 {
+		return fmt.Errorf("core: checkpoint configuration must be non-negative")
+	}
+	if c.ShortMax <= 0 || c.WaitShort < 0 || c.WaitLong < 0 {
+		return fmt.Errorf("core: invalid queue configuration")
+	}
+	for i, q := range c.Queues {
+		if q.MaxWait < 0 {
+			return fmt.Errorf("core: queue %d has negative wait %v", i, q.MaxWait)
+		}
+		if i < len(c.Queues)-1 {
+			if q.MaxLength <= 0 {
+				return fmt.Errorf("core: queue %d needs a positive length bound", i)
+			}
+			if next := c.Queues[i+1].MaxLength; next != 0 && next <= q.MaxLength {
+				return fmt.Errorf("core: queue bounds must ascend (queue %d: %v >= %v)", i, q.MaxLength, next)
+			}
+		}
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("core: horizon %v must be positive", c.Horizon)
+	}
+	return nil
+}
+
+// policyContext builds the knowledge handed to policies: per-queue maximum
+// waits and historical average lengths computed from the trace.
+func (c Config) policyContext(jobs *workload.Trace) *policy.Context {
+	avg := func(q workload.Queue) simtime.Duration {
+		if v, ok := c.AvgLengthOverride[q]; ok {
+			return v
+		}
+		return jobs.MeanLengthByQueue(q)
+	}
+	queues := make(map[workload.Queue]policy.QueueInfo, len(c.Queues))
+	for i, spec := range c.Queues {
+		q := workload.Queue(i)
+		queues[q] = policy.QueueInfo{MaxWait: spec.MaxWait, AvgLength: avg(q)}
+	}
+	return &policy.Context{CIS: c.CIS, Queues: queues}
+}
+
+// queueBounds returns the classification bounds for ClassifyQueues: the
+// MaxLength of every queue but the last.
+func (c Config) queueBounds() []simtime.Duration {
+	bounds := make([]simtime.Duration, 0, len(c.Queues)-1)
+	for _, q := range c.Queues[:len(c.Queues)-1] {
+		bounds = append(bounds, q.MaxLength)
+	}
+	return bounds
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/sim"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Run simulates the configured GAIA cluster over the workload trace and
+// returns per-job and cluster-level accounting. The input trace is not
+// modified. Runs are deterministic for a given (Config, trace).
+func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Scheduler invariant violations surface as panics deep in event
+	// callbacks; convert them to errors at the API boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: run failed: %v", r)
+		}
+	}()
+
+	trace := workload.MustTrace(jobs.Name, jobs.Jobs) // defensive copy
+	trace.ClassifyQueues(cfg.queueBounds())
+
+	pool, err := cloud.NewReservedPool(cfg.Reserved)
+	if err != nil {
+		return nil, err
+	}
+	evict, err := cloud.NewEvictionModel(cfg.EvictionRate, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &scheduler{
+		cfg:    cfg,
+		ctx:    cfg.policyContext(trace),
+		engine: sim.NewEngine(),
+		pool:   pool,
+		evict:  evict,
+	}
+	for _, job := range trace.Jobs {
+		job := job
+		s.engine.Schedule(job.Arrival, sim.PriorityArrival, func() { s.arrive(job) })
+	}
+	s.engine.Run()
+
+	sort.Slice(s.results, func(i, j int) bool { return s.results[i].JobID < s.results[j].JobID })
+	return &metrics.Result{
+		Label:    cfg.Label,
+		Region:   cfg.Carbon.Region(),
+		Workload: trace.Name,
+		Reserved: cfg.Reserved,
+		Horizon:  cfg.Horizon,
+		Pricing:  cfg.Pricing,
+		Jobs:     s.results,
+	}, nil
+}
+
+// scheduler is the run-scoped state machine driven by the event engine.
+type scheduler struct {
+	cfg     Config
+	ctx     *policy.Context
+	engine  *sim.Engine
+	pool    *cloud.ReservedPool
+	evict   *cloud.EvictionModel
+	waiting waitQueue
+	results []metrics.JobResult
+}
+
+// arrive handles a job submission.
+func (s *scheduler) arrive(job workload.Job) {
+	now := s.engine.Now()
+	rec := &metrics.JobResult{
+		JobID:   job.ID,
+		Queue:   job.Queue,
+		User:    job.User,
+		CPUs:    job.CPUs,
+		Length:  job.Length,
+		Arrival: now,
+		BaselineCarbon: s.carbonOf(simtime.Interval{
+			Start: now, End: now.Add(job.Length),
+		}, job.CPUs),
+	}
+
+	if s.spotEligible(job) {
+		s.scheduleSpot(job, rec)
+		return
+	}
+
+	// RES-First work conservation: run immediately when the job fits in
+	// idle reserved capacity — those units are pre-paid either way.
+	if s.cfg.WorkConserving && s.pool.Idle() >= job.CPUs {
+		s.startJob(job, rec)
+		return
+	}
+
+	d := s.cfg.Policy.Decide(job, now, s.ctx)
+	if err := d.Validate(job, now); err != nil {
+		panic(fmt.Sprintf("policy %s: %v", s.cfg.Policy.Name(), err))
+	}
+
+	if d.IsPlan() {
+		if s.cfg.WorkConserving {
+			panic(fmt.Sprintf("policy %s: suspend-resume plans cannot be work-conserving", s.cfg.Policy.Name()))
+		}
+		s.schedulePlan(job, rec, d.Plan)
+		return
+	}
+
+	if s.cfg.WorkConserving {
+		w := &waiter{job: job, rec: rec, plannedStart: d.Start}
+		w.startEvent = s.engine.Schedule(d.Start, sim.PriorityStart, func() { s.startPlanned(w) })
+		heap.Push(&s.waiting, w)
+		return
+	}
+	s.engine.Schedule(d.Start, sim.PriorityStart, func() { s.startJob(job, rec) })
+}
+
+// spotEligible reports whether the job is routed to spot capacity.
+func (s *scheduler) spotEligible(job workload.Job) bool {
+	return s.cfg.SpotMaxLen > 0 && job.Length <= s.cfg.SpotMaxLen
+}
+
+// startPlanned fires when a waiting job's carbon-aware start time arrives
+// without a reserved unit having freed up first.
+func (s *scheduler) startPlanned(w *waiter) {
+	heap.Remove(&s.waiting, w.index)
+	s.startJob(w.job, w.rec)
+}
+
+// startJob begins uninterruptible execution now, filling from idle
+// reserved units first and on-demand for the remainder (the resource
+// manager's placement rule, §4.1).
+func (s *scheduler) startJob(job workload.Job, rec *metrics.JobResult) {
+	now := s.engine.Now()
+	reserved := s.pool.Acquire(job.CPUs)
+	onDemand := job.CPUs - reserved
+	iv := simtime.Interval{Start: now, End: now.Add(job.Length)}
+	rec.Start = now
+	s.account(rec, iv, reserved, onDemand, 0, false)
+	s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
+		s.pool.Release(reserved)
+		s.finish(rec, iv.End)
+	})
+}
+
+// normalizePlan delegates to policy.NormalizePlan (shared with the
+// prototype runtime).
+func normalizePlan(plan []simtime.Interval, length simtime.Duration) []simtime.Interval {
+	return policy.NormalizePlan(plan, length)
+}
+
+// schedulePlan executes a suspend-resume plan: each interval independently
+// claims reserved-first capacity at its start and releases it at its end.
+func (s *scheduler) schedulePlan(job workload.Job, rec *metrics.JobResult, plan []simtime.Interval) {
+	plan = normalizePlan(plan, job.Length)
+	rec.Start = plan[0].Start
+	last := plan[len(plan)-1].End
+	for _, iv := range plan {
+		iv := iv
+		s.engine.Schedule(iv.Start, sim.PriorityStart, func() {
+			reserved := s.pool.Acquire(job.CPUs)
+			onDemand := job.CPUs - reserved
+			s.account(rec, iv, reserved, onDemand, 0, false)
+			s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
+				s.pool.Release(reserved)
+				if iv.End == last {
+					s.finish(rec, last)
+				}
+			})
+		})
+	}
+}
+
+// scheduleSpot runs a spot-eligible job: the policy's carbon-aware
+// schedule executes on spot capacity; if the spot allocation is revoked,
+// all progress is lost (the paper's assumption) and the job restarts
+// immediately on on-demand capacity — falling back to idle reserved units
+// first under Spot-RES.
+func (s *scheduler) scheduleSpot(job workload.Job, rec *metrics.JobResult) {
+	now := s.engine.Now()
+	d := s.cfg.Policy.Decide(job, now, s.ctx)
+	if err := d.Validate(job, now); err != nil {
+		panic(fmt.Sprintf("policy %s: %v", s.cfg.Policy.Name(), err))
+	}
+	plan := d.Plan
+	if !d.IsPlan() {
+		plan = []simtime.Interval{{Start: d.Start, End: d.Start.Add(job.Length)}}
+	} else {
+		plan = normalizePlan(plan, job.Length)
+	}
+
+	if s.cfg.CheckpointInterval > 0 && len(plan) == 1 {
+		s.scheduleCheckpointedSpot(job, rec, plan[0].Start)
+		return
+	}
+
+	// Sample the eviction process over the planned execution. Checks
+	// occur at whole run-hours within each contiguous interval.
+	evictAt := simtime.Time(-1)
+	for _, iv := range plan {
+		if at, ev := s.evict.SampleEviction(iv.Start, iv.Len()); ev {
+			evictAt = at
+			break
+		}
+	}
+
+	rec.Start = plan[0].Start
+	if evictAt < 0 {
+		// Clean spot execution.
+		last := plan[len(plan)-1].End
+		for _, iv := range plan {
+			iv := iv
+			s.engine.Schedule(iv.Start, sim.PriorityStart, func() {
+				s.account(rec, iv, 0, 0, job.CPUs, false)
+				if iv.End == last {
+					s.engine.Schedule(last, sim.PriorityFinish, func() { s.finish(rec, last) })
+				}
+			})
+		}
+		return
+	}
+
+	// Evicted: all execution up to evictAt is waste; restart on demand.
+	rec.Evictions = 1
+	for _, iv := range plan {
+		if iv.Start >= evictAt {
+			break
+		}
+		wasted := iv
+		if wasted.End > evictAt {
+			wasted.End = evictAt
+		}
+		s.engine.Schedule(wasted.Start, sim.PriorityStart, func() {
+			s.account(rec, wasted, 0, 0, job.CPUs, true)
+		})
+	}
+	s.engine.Schedule(evictAt, sim.PriorityEvict, func() {
+		reserved := s.pool.Acquire(job.CPUs)
+		onDemand := job.CPUs - reserved
+		iv := simtime.Interval{Start: evictAt, End: evictAt.Add(job.Length)}
+		s.account(rec, iv, reserved, onDemand, 0, false)
+		s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
+			s.pool.Release(reserved)
+			s.finish(rec, iv.End)
+		})
+	})
+}
+
+// scheduleCheckpointedSpot runs a spot job that checkpoints after every
+// CheckpointInterval of useful work (each checkpoint costing
+// CheckpointOverhead of extra runtime). An eviction loses only the
+// progress since the last completed checkpoint; the remainder resumes on
+// on-demand capacity (reserved-first), checkpoint-free.
+func (s *scheduler) scheduleCheckpointedSpot(job workload.Job, rec *metrics.JobResult, start simtime.Time) {
+	ckInt := s.cfg.CheckpointInterval
+	ckOver := s.cfg.CheckpointOverhead
+	// Checkpoints strictly inside the job (none at completion).
+	numCk := int((job.Length - 1) / ckInt)
+	padded := job.Length + simtime.Duration(numCk)*ckOver
+	cycle := ckInt + ckOver
+
+	rec.Start = start
+	evictAt, evicted := s.evict.SampleEviction(start, padded)
+	if !evicted {
+		// Clean run: whole padded execution on spot.
+		iv := simtime.Interval{Start: start, End: start.Add(padded)}
+		s.engine.Schedule(start, sim.PriorityStart, func() {
+			s.account(rec, iv, 0, 0, job.CPUs, false)
+		})
+		s.engine.Schedule(iv.End, sim.PriorityFinish, func() { s.finish(rec, iv.End) })
+		return
+	}
+
+	rec.Evictions = 1
+	ran := evictAt.Sub(start)
+	savedCycles := int(ran / cycle)
+	if savedCycles > numCk {
+		savedCycles = numCk
+	}
+	savedWork := simtime.Duration(savedCycles) * ckInt
+	remaining := job.Length - savedWork
+	// Everything run on spot is billed/emitted; only savedWork of it is
+	// useful, the rest is eviction waste.
+	spotIv := simtime.Interval{Start: start, End: evictAt}
+	s.engine.Schedule(start, sim.PriorityStart, func() {
+		useful := simtime.Interval{Start: start, End: start.Add(savedWork)}
+		s.account(rec, useful, 0, 0, job.CPUs, false)
+		wasted := simtime.Interval{Start: useful.End, End: spotIv.End}
+		s.account(rec, wasted, 0, 0, job.CPUs, true)
+	})
+	s.engine.Schedule(evictAt, sim.PriorityEvict, func() {
+		reserved := s.pool.Acquire(job.CPUs)
+		onDemand := job.CPUs - reserved
+		iv := simtime.Interval{Start: evictAt, End: evictAt.Add(remaining)}
+		s.account(rec, iv, reserved, onDemand, 0, false)
+		s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
+			s.pool.Release(reserved)
+			s.finish(rec, iv.End)
+		})
+	})
+}
+
+// finish closes a job's record and, under work conservation, hands freed
+// reserved units to the earliest-planned waiting jobs.
+func (s *scheduler) finish(rec *metrics.JobResult, at simtime.Time) {
+	rec.Finish = at
+	rec.Waiting = at.Sub(rec.Arrival) - rec.Length
+	s.results = append(s.results, *rec)
+	if s.cfg.WorkConserving {
+		s.drainWaiting()
+	}
+}
+
+// drainWaiting starts waiting jobs (earliest planned start first) while
+// they fit entirely into idle reserved capacity — the RES-First rule: a
+// freed reserved server immediately picks up the next queued job instead
+// of idling until that job's carbon-optimal start.
+func (s *scheduler) drainWaiting() {
+	for s.waiting.Len() > 0 {
+		w := s.waiting[0]
+		if s.pool.Idle() < w.job.CPUs {
+			return
+		}
+		heap.Pop(&s.waiting)
+		w.startEvent.Cancel()
+		s.startJob(w.job, w.rec)
+	}
+}
+
+// carbonOf converts execution over iv into grams of CO2eq using the
+// realized trace.
+func (s *scheduler) carbonOf(iv simtime.Interval, cpus int) float64 {
+	return s.cfg.Power.Carbon(s.cfg.Carbon.Integral(iv), cpus)
+}
+
+// account books one execution interval split across purchase options.
+func (s *scheduler) account(rec *metrics.JobResult, iv simtime.Interval, reserved, onDemand, spot int, wasted bool) {
+	hours := iv.Len().Hours()
+	carbonG := s.carbonOf(iv, reserved+onDemand+spot)
+	cost := (float64(onDemand)*s.cfg.Pricing.HourlyRate(cloud.OnDemand) +
+		float64(spot)*s.cfg.Pricing.HourlyRate(cloud.Spot)) * hours
+
+	rec.Carbon += carbonG
+	rec.UsageCost += cost
+	rec.CPUHours[cloud.Reserved] += float64(reserved) * hours
+	rec.CPUHours[cloud.OnDemand] += float64(onDemand) * hours
+	rec.CPUHours[cloud.Spot] += float64(spot) * hours
+	rec.Segments = append(rec.Segments, metrics.Segment{
+		Interval: iv,
+		Reserved: reserved,
+		OnDemand: onDemand,
+		Spot:     spot,
+		Wasted:   wasted,
+	})
+	if wasted {
+		rec.WastedCPUHours += float64(reserved+onDemand+spot) * hours
+		rec.WastedCarbon += carbonG
+		rec.WastedCost += cost
+	}
+}
+
+// waiter is a job registered for RES-First work conservation: it holds
+// both its policy-chosen start event and its queue position ordered by
+// that planned start.
+type waiter struct {
+	job          workload.Job
+	rec          *metrics.JobResult
+	plannedStart simtime.Time
+	startEvent   *sim.Event
+	index        int
+}
+
+// waitQueue is a heap of waiters ordered by planned start, then job ID for
+// determinism.
+type waitQueue []*waiter
+
+func (q waitQueue) Len() int { return len(q) }
+
+func (q waitQueue) Less(i, j int) bool {
+	if q[i].plannedStart != q[j].plannedStart {
+		return q[i].plannedStart < q[j].plannedStart
+	}
+	return q[i].job.ID < q[j].job.ID
+}
+
+func (q waitQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *waitQueue) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*q)
+	*q = append(*q, w)
+}
+
+func (q *waitQueue) Pop() any {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*q = old[:n-1]
+	return w
+}

@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1-2 and 5-20) on the GAIA simulator with the
+// synthetic trace substitutes documented in DESIGN.md. Each experiment
+// returns a printable result whose rows mirror the paper's series; the
+// absolute numbers depend on the synthetic substrates, but the shape —
+// who wins, by roughly what factor, where the crossovers fall — is the
+// reproduction target recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible figure.
+type Experiment struct {
+	// ID is the figure identifier, e.g. "fig08".
+	ID string
+	// Title summarizes what the figure shows.
+	Title string
+	// Run executes the experiment at the given scale and returns a
+	// printable result.
+	Run func(scale Scale) (fmt.Stringer, error)
+}
+
+// Scale selects how much work an experiment does. Quick runs use shorter
+// horizons and fewer jobs (for tests and -bench on laptops); Full runs the
+// paper-scale year-long 100k-job configurations.
+type Scale int
+
+// Supported scales.
+const (
+	// Quick is a reduced-size run for tests and benchmarks: ~60-day
+	// horizons and proportionally fewer jobs. Shapes are preserved.
+	Quick Scale = iota
+	// Full is the paper-scale configuration (year-long, ~100k jobs).
+	Full
+)
+
+// String returns "quick" or "full".
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

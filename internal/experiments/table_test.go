@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "a", "b")
+	tb.AddRowf("x", 1.23456)
+	tb.AddRow("longer-cell") // short row padded
+	tb.Caption = "cap"
+	s := tb.String()
+	for _, want := range []string{"Title", "a", "b", "x", "1.235", "longer-cell", "cap", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Oversized rows are truncated to the header width.
+	tb2 := NewTable("t", "only")
+	tb2.AddRow("a", "dropped")
+	if strings.Contains(tb2.String(), "dropped") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestTableUnicodeAlignment(t *testing.T) {
+	tb := NewTable("t", "spark", "v")
+	tb.AddRow("▁▂▃", "1")
+	tb.AddRow("xxxxx", "2")
+	// Lines: 0 title, 1 header, 2 separator, 3-4 data rows.
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Both data lines end with their value after rune-aware padding, so
+	// their rune lengths must match despite the multibyte glyphs.
+	if !strings.HasSuffix(lines[3], "1") || !strings.HasSuffix(lines[4], "2") {
+		t.Errorf("rows malformed:\n%s", tb.String())
+	}
+	if len([]rune(lines[3])) != len([]rune(lines[4])) {
+		t.Errorf("unicode misalignment:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestTSV(t *testing.T) {
+	tb := NewTable("Title", "a", "b")
+	tb.AddRowf("x", 1.0)
+	tsv := tb.TSV()
+	if !strings.HasPrefix(tsv, "a\tb\n") || !strings.Contains(tsv, "x\t1.000") {
+		t.Errorf("TSV = %q", tsv)
+	}
+	if strings.Contains(tsv, "Title") {
+		t.Error("TSV must not include the title")
+	}
+	group := Tables{tb, tb}
+	if got := strings.Count(group.TSV(), "a\tb"); got != 2 {
+		t.Errorf("grouped TSV headers = %d", got)
+	}
+	var _ TSVer = tb
+	var _ TSVer = group
+}

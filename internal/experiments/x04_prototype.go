@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/carbonsched/gaia/internal/batch"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "x04-prototype",
+		Title: "Validation: GAIA-Simulator vs the node-level prototype runtime",
+		Run:   runX04Prototype,
+	})
+}
+
+// runX04Prototype reproduces the paper's dual methodology (§5): the same
+// policies run through the idealized GAIA-Simulator (internal/core) and
+// through the ParallelCluster-like prototype runtime (internal/batch) that
+// models node boot delays, idle timeouts and whole-lifetime billing. The
+// paper argues normalized metrics let the simulator neglect these
+// overheads — this experiment quantifies exactly how much the overheads
+// shift absolute and normalized numbers.
+func runX04Prototype(Scale) (fmt.Stringer, error) {
+	tr, err := prototypeCarbon()
+	if err != nil {
+		return nil, err
+	}
+	jobs := prototypeWeek()
+	rHalf, _ := weekReserved()
+
+	type pair struct {
+		name string
+		p    policy.Policy
+	}
+	policies := []pair{
+		{"NoWait", policy.NoWait{}},
+		{"Lowest-Window", policy.LowestWindow{}},
+		{"WaitAwhile", policy.WaitAwhile{}},
+		{"Carbon-Time", policy.CarbonTime{}},
+	}
+
+	t := NewTable("Extension x04 — simulator vs prototype (week trace, SA-AU, R="+fmt.Sprint(rHalf)+")",
+		"policy", "runtime", "carbon(kg)", "cost($)", "wait(h)", "nodes")
+	var simBase, protoBase float64
+	for i, pp := range policies {
+		simRes, err := core.Run(core.Config{
+			Policy:   pp.p,
+			Carbon:   tr,
+			Reserved: rHalf,
+			Horizon:  10 * simtime.Day,
+		}, jobs)
+		if err != nil {
+			return nil, err
+		}
+		protoRes, err := batch.Run(batch.Config{
+			Policy:        pp.p,
+			Carbon:        tr,
+			ReservedNodes: rHalf,
+			Horizon:       10 * simtime.Day,
+			Seed:          seedEviction,
+		}, jobs)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			simBase, protoBase = simRes.TotalCarbon(), protoRes.CarbonG
+		}
+		t.AddRowf(pp.name, "simulator",
+			simRes.TotalCarbonKg(), simRes.TotalCost(), simRes.MeanWaiting().Hours(), "-")
+		t.AddRowf(pp.name, "prototype",
+			protoRes.CarbonKg(), protoRes.Cost, protoRes.MeanWaiting().Hours(),
+			protoRes.NodesLaunched)
+		if i == len(policies)-1 {
+			simNorm := simRes.TotalCarbon() / simBase
+			protoNorm := protoRes.CarbonG / protoBase
+			t.Caption = fmt.Sprintf(
+				"normalized Carbon-Time carbon: simulator %.3f vs prototype %.3f — overheads (boot, idle tails, node churn) raise absolutes but barely move normalized results, the paper's justification for simulator-scale studies. Note WaitAwhile's node churn: suspend-resume fragments demand into many short allocations, the §6.3.1 cost mechanism",
+				simNorm, protoNorm)
+		}
+	}
+	return t, nil
+}

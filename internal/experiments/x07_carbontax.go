@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "x07-carbontax",
+		Title: "Extension: carbon tax folds the trade-off into cost (Discussion §7)",
+		Run:   runX07CarbonTax,
+	})
+}
+
+// runX07CarbonTax realizes the paper's Discussion: assign an explicit
+// price to carbon so that a purely cost-minimizing scheduler becomes
+// carbon-aware. On an ERCOT-like grid (Figure 20: energy price and CI
+// only weakly correlated, ≈0.16-0.26), a scheduler that chases the
+// cheapest energy windows under a combined tariff
+//
+//	w(t) = energyPrice(t) + tax × CI(t)
+//
+// is swept over tax ∈ {0, 50, 100, 200, 500, 2000} $/tonne. At tax 0 it
+// optimizes the bill and saves carbon only incidentally; as the tax grows
+// its schedule converges to the carbon-optimal one.
+func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
+	hours := int(horizon(scale)/60) / 60 * 60 // whole hours of the horizon
+	ci, price := carbon.DefaultERCOTModel().Generate(hours+7*24, seedCarbon+100)
+	jobs := yearTrace("alibaba", scale)
+
+	// Baselines on the Texas grid: carbon-agnostic and carbon-optimal.
+	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: ci, Horizon: horizon(scale)}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	carbonOpt, err := core.Run(core.Config{Policy: policy.LowestWindow{}, Carbon: ci, Horizon: horizon(scale)}, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// billFor measures the energy bill of a schedule by re-running the
+	// identical decisions with the price series as the "carbon" trace:
+	// the resulting "emissions" are ∫ price × power dt, i.e. dollars
+	// (per kW of draw, scaled by the power model).
+	priceVals := make([]float64, hours)
+	for i := range priceVals {
+		v := price.At(simtime.Time(simtime.Duration(i) * simtime.Hour))
+		if v < 0 {
+			v = 0 // negative-price hours bill as zero, keeping traces valid
+		}
+		priceVals[i] = v
+	}
+	priceTrace := carbon.MustTrace("TX-price", priceVals)
+
+	t := NewTable("Extension x07 — cost-only scheduling under a carbon tax (Alibaba, ERCOT-like grid)",
+		"tax $/tonne", "carbon(norm)", "share of carbon-opt savings", "bill(norm)")
+	baseBill, err := core.Run(core.Config{
+		Policy: policy.NoWait{}, Carbon: priceTrace, Horizon: horizon(scale),
+	}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	optSaving := 1 - carbonOpt.TotalCarbon()/base.TotalCarbon()
+	for _, tax := range []float64{0, 50, 100, 200, 500, 2000} {
+		// Combined tariff in $/kWh: price/1000 ($/MWh→$/kWh) plus
+		// tax ($/tonne) × CI (g/kWh) / 1e6 (g→tonne).
+		tariff := make([]float64, hours)
+		for i := range tariff {
+			w := priceVals[i]/1000 + tax*ci.Value(i)/1e6
+			tariff[i] = w * 1000 // scale up: trace values stay well-conditioned
+		}
+		tariffTrace := carbon.MustTrace("TX-tariff", tariff)
+		cfg := core.Config{
+			Policy:  policy.LowestWindow{}, // cost-only: chases cheap tariff windows
+			Carbon:  ci,
+			CIS:     carbon.NewPerfectService(tariffTrace),
+			Horizon: horizon(scale),
+		}
+		res, err := core.Run(cfg, jobs)
+		if err != nil {
+			return nil, err
+		}
+		// Energy bill of the same schedule.
+		billCfg := cfg
+		billCfg.Carbon = priceTrace
+		bill, err := core.Run(billCfg, jobs)
+		if err != nil {
+			return nil, err
+		}
+		saving := 1 - res.TotalCarbon()/base.TotalCarbon()
+		t.AddRowf(tax,
+			res.TotalCarbon()/base.TotalCarbon(),
+			safeDiv(saving, optSaving),
+			bill.TotalCarbon()/baseBill.TotalCarbon())
+	}
+	t.Caption = fmt.Sprintf(
+		"carbon-optimal (Lowest-Window on CI) reaches %.3f normalized carbon; a rising tax drives the cost-only scheduler toward it while the bill advantage shrinks — the Discussion's point that a tax collapses the three-way trade-off",
+		carbonOpt.TotalCarbon()/base.TotalCarbon())
+	return t, nil
+}

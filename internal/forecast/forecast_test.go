@@ -1,0 +1,146 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestNewSeasonalNaiveValidation(t *testing.T) {
+	tr := carbon.RegionCAUS.Generate(24*40, 1)
+	if _, err := NewSeasonalNaive(tr, 3, 0.9); err == nil {
+		t.Error("window < 7 days should error")
+	}
+	for _, rho := range []float64{-0.1, 1.0} {
+		if _, err := NewSeasonalNaive(tr, 14, rho); err == nil {
+			t.Errorf("rho %v should error", rho)
+		}
+	}
+	if _, err := NewSeasonalNaive(tr, 14, 0.9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectOnPerfectlyPeriodicSignal(t *testing.T) {
+	// A strictly weekly-periodic signal is forecast exactly (beyond warmup)
+	// because the profile equals the signal and the residual is 0.
+	vals := make([]float64, 24*28)
+	for i := range vals {
+		vals[i] = 100 + 50*math.Sin(2*math.Pi*float64(i%168)/168)
+	}
+	tr := carbon.MustTrace("periodic", vals)
+	s, err := NewSeasonalNaive(tr, 14, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asOf := simtime.Time(20 * simtime.Day)
+	for lead := 1; lead <= 48; lead++ {
+		tau := asOf.Add(simtime.Duration(lead) * simtime.Hour)
+		got := s.ForecastValue(asOf, tau)
+		want := tr.At(tau)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("lead %dh: forecast %v, want %v", lead, got, want)
+		}
+	}
+}
+
+func TestPastIsObservedNotForecast(t *testing.T) {
+	tr := carbon.RegionSAAU.Generate(24*30, 2)
+	s, _ := NewSeasonalNaive(tr, 14, 0.9)
+	asOf := simtime.Time(20 * simtime.Day)
+	for _, back := range []simtime.Duration{0, simtime.Hour, simtime.Day} {
+		tau := asOf.Add(-back)
+		if got := s.ForecastValue(asOf, tau); got != tr.At(tau) {
+			t.Errorf("past value at -%v should be exact", back)
+		}
+	}
+}
+
+func TestErrorGrowsWithLead(t *testing.T) {
+	tr := carbon.RegionSAAU.Generate(24*120, 3)
+	s, _ := NewSeasonalNaive(tr, 28, 0.9)
+	acc := s.Evaluate([]int{1, 6, 24, 72})
+	for i := 1; i < len(acc); i++ {
+		if acc[i].N == 0 {
+			t.Fatalf("lead %d: no evaluation points", acc[i].LeadHours)
+		}
+	}
+	if acc[0].MAPE >= acc[3].MAPE {
+		t.Errorf("1h MAPE %v should be below 72h MAPE %v", acc[0].MAPE, acc[3].MAPE)
+	}
+	// Day-ahead error should be in a plausible band for a seasonal model
+	// on a volatile grid — meaningful but far from useless.
+	if acc[2].MAPE < 0.02 || acc[2].MAPE > 0.8 {
+		t.Errorf("24h MAPE = %v, want a plausible band", acc[2].MAPE)
+	}
+}
+
+func TestForecastBeatsNaiveMean(t *testing.T) {
+	// The seasonal forecaster must beat the trivial "predict the annual
+	// mean" baseline at day-ahead leads on a duck-curve grid.
+	tr := carbon.RegionCAUS.Generate(24*120, 4)
+	s, _ := NewSeasonalNaive(tr, 28, 0.9)
+	mean := tr.Mean()
+	var apeModel, apeMean float64
+	n := 0
+	warm := 28 * 24
+	for h := warm; h+24 < tr.Len(); h += 7 {
+		asOf := simtime.Time(simtime.Duration(h) * simtime.Hour)
+		tau := asOf.Add(24 * simtime.Hour)
+		want := tr.At(tau)
+		apeModel += math.Abs(s.ForecastValue(asOf, tau)-want) / want
+		apeMean += math.Abs(mean-want) / want
+		n++
+	}
+	if apeModel >= apeMean {
+		t.Errorf("seasonal MAPE %v should beat mean-baseline MAPE %v", apeModel/float64(n), apeMean/float64(n))
+	}
+}
+
+func TestForecastIntegralConsistency(t *testing.T) {
+	tr := carbon.RegionCAUS.Generate(24*60, 5)
+	s, _ := NewSeasonalNaive(tr, 14, 0.9)
+	asOf := simtime.Time(30 * simtime.Day)
+	// Integral is additive over adjacent windows.
+	a := simtime.Interval{Start: asOf.Add(2 * simtime.Hour), End: asOf.Add(5 * simtime.Hour)}
+	b := simtime.Interval{Start: asOf.Add(5 * simtime.Hour), End: asOf.Add(9 * simtime.Hour)}
+	whole := simtime.Interval{Start: a.Start, End: b.End}
+	sum := s.ForecastIntegral(asOf, a) + s.ForecastIntegral(asOf, b)
+	if math.Abs(sum-s.ForecastIntegral(asOf, whole)) > 1e-9 {
+		t.Error("forecast integral not additive")
+	}
+	if s.ForecastIntegral(asOf, simtime.Interval{Start: 5, End: 5}) != 0 {
+		t.Error("empty interval should be 0")
+	}
+	// Integral over the observed past equals the realized integral.
+	past := simtime.Interval{Start: asOf.Add(-5 * simtime.Hour), End: asOf.Add(-2 * simtime.Hour)}
+	if math.Abs(s.ForecastIntegral(asOf, past)-tr.Integral(past)) > 1e-9 {
+		t.Error("past integral should be realized")
+	}
+}
+
+func TestColdStartFallsBack(t *testing.T) {
+	tr := carbon.RegionCAUS.Generate(24*30, 6)
+	s, _ := NewSeasonalNaive(tr, 14, 0.9)
+	// With asOf in the first hours there is no profile history; the
+	// forecaster must still return finite non-negative values.
+	for lead := 1; lead <= 24; lead++ {
+		v := s.ForecastValue(2, simtime.Time(2).Add(simtime.Duration(lead)*simtime.Hour))
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("cold-start forecast invalid: %v", v)
+		}
+	}
+}
+
+func TestServiceContract(t *testing.T) {
+	tr := carbon.RegionCAUS.Generate(24*30, 7)
+	s, _ := NewSeasonalNaive(tr, 14, 0.9)
+	if s.Region() != tr.Region() {
+		t.Error("Region mismatch")
+	}
+	if s.Intensity(90) != tr.At(90) {
+		t.Error("Intensity should read the live trace")
+	}
+}

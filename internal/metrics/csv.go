@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteDetailsCSV writes one row per job — the equivalent of the paper
+// artifact's "details file" — with timing, carbon, cost and placement
+// columns.
+func (r *Result) WriteDetailsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"job_id", "queue", "user", "cpus", "length_min", "arrival_min", "start_min",
+		"finish_min", "waiting_min", "carbon_g", "baseline_carbon_g",
+		"usage_cost", "reserved_cpuh", "ondemand_cpuh", "spot_cpuh",
+		"evictions", "wasted_cpuh",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: writing header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, j := range r.Jobs {
+		rec := []string{
+			strconv.Itoa(j.JobID),
+			j.Queue.String(),
+			j.User,
+			strconv.Itoa(j.CPUs),
+			strconv.FormatInt(int64(j.Length), 10),
+			strconv.FormatInt(int64(j.Arrival), 10),
+			strconv.FormatInt(int64(j.Start), 10),
+			strconv.FormatInt(int64(j.Finish), 10),
+			strconv.FormatInt(int64(j.Waiting), 10),
+			f(j.Carbon),
+			f(j.BaselineCarbon),
+			f(j.UsageCost),
+			f(j.CPUHours[1]), // cloud.Reserved
+			f(j.CPUHours[0]), // cloud.OnDemand
+			f(j.CPUHours[2]), // cloud.Spot
+			strconv.Itoa(j.Evictions),
+			f(j.WastedCPUHours),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: writing job %d: %w", j.JobID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummary writes the aggregate metrics — the artifact's "aggregate
+// file" — as key,value CSV rows.
+func (r *Result) WriteSummary(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	rows := [][]string{
+		{"label", r.Label},
+		{"region", r.Region},
+		{"workload", r.Workload},
+		{"jobs", strconv.Itoa(len(r.Jobs))},
+		{"reserved", strconv.Itoa(r.Reserved)},
+		{"horizon_hours", f(r.Horizon.Hours())},
+		{"carbon_kg", f(r.TotalCarbonKg())},
+		{"baseline_carbon_kg", f(r.BaselineCarbon() / 1000)},
+		{"carbon_savings_frac", f(r.CarbonSavingsFraction())},
+		{"total_cost", f(r.TotalCost())},
+		{"reserved_upfront", f(r.ReservedUpfront())},
+		{"usage_cost", f(r.UsageCost())},
+		{"mean_waiting_hours", f(r.MeanWaiting().Hours())},
+		{"p50_waiting_hours", f(r.WaitingPercentile(50).Hours())},
+		{"p95_waiting_hours", f(r.WaitingPercentile(95).Hours())},
+		{"mean_completion_hours", f(r.MeanCompletion().Hours())},
+		{"reserved_utilization", f(r.ReservedUtilization())},
+		{"evictions", strconv.Itoa(r.TotalEvictions())},
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: writing summary: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteDetailsCSV(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := r.WriteDetailsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 jobs
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "job_id" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "short" || rows[2][1] != "long" {
+		t.Errorf("queue columns wrong: %v / %v", rows[1], rows[2])
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, key := range []string{"carbon_kg", "total_cost", "mean_waiting_hours", "reserved_utilization"} {
+		if !strings.Contains(s, key) {
+			t.Errorf("summary missing %q:\n%s", key, s)
+		}
+	}
+	if !strings.Contains(s, "total_cost,84.000000") {
+		t.Errorf("total cost row wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,341 @@
+// Package metrics defines the per-job and cluster-level accounting records
+// the GAIA simulator produces, and the aggregations the paper's evaluation
+// reports: total/normalized carbon, total cost (reserved upfront plus
+// usage), waiting and completion times, and savings breakdowns.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/stats"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// JobResult is the accounting record of one executed job.
+type JobResult struct {
+	JobID   int
+	Queue   workload.Queue
+	User    string
+	CPUs    int
+	Length  simtime.Duration
+	Arrival simtime.Time
+	// Start is the first instant the job executed (including execution
+	// later lost to eviction).
+	Start simtime.Time
+	// Finish is the completion instant.
+	Finish simtime.Time
+	// Waiting is the job's total non-running delay:
+	// Finish − Arrival − Length. For uninterruptible, eviction-free
+	// execution this equals Start − Arrival; for suspend-resume jobs it
+	// includes pauses, and for evicted spot jobs the lost runtime.
+	Waiting simtime.Duration
+	// Carbon is the job's total emissions in grams CO2eq, including any
+	// emissions from execution lost to eviction.
+	Carbon float64
+	// BaselineCarbon is what the job would have emitted had it started
+	// at arrival (the NoWait counterfactual), used for savings analyses.
+	BaselineCarbon float64
+	// UsageCost is the pay-as-you-go dollars attributed to the job
+	// (on-demand plus spot, including wasted spot time). Reserved
+	// capacity is pre-paid at cluster level and contributes nothing here.
+	UsageCost float64
+	// CPUHours breaks billed execution down by purchase option, indexed
+	// by cloud.Option.
+	CPUHours [3]float64
+	// Evictions counts spot revocations suffered.
+	Evictions int
+	// WastedCPUHours/WastedCarbon/WastedCost quantify execution lost to
+	// evictions (already included in the totals above).
+	WastedCPUHours float64
+	WastedCarbon   float64
+	WastedCost     float64
+	// Segments records the job's execution intervals with their
+	// placement split — the raw material of allocation timelines (the
+	// artifact's "runtime file" and Figure 2a's demand curves).
+	Segments []Segment
+}
+
+// Segment is one contiguous execution interval of a job on a fixed
+// placement.
+type Segment struct {
+	Interval simtime.Interval
+	// Reserved/OnDemand/Spot are the concurrently held CPU units per
+	// purchase option.
+	Reserved, OnDemand, Spot int
+	// Wasted marks execution later lost to a spot eviction.
+	Wasted bool
+}
+
+// Completion returns the job's completion time (Finish − Arrival).
+func (r JobResult) Completion() simtime.Duration { return r.Finish.Sub(r.Arrival) }
+
+// CarbonSaving returns the emissions avoided versus running at arrival
+// (negative when the schedule emitted more).
+func (r JobResult) CarbonSaving() float64 { return r.BaselineCarbon - r.Carbon }
+
+// Result is the outcome of one simulated cluster run.
+type Result struct {
+	// Label identifies the configuration (e.g. "RES-First-Carbon-Time").
+	Label string
+	// Region is the carbon trace's region code.
+	Region string
+	// Workload is the workload trace name.
+	Workload string
+	// Reserved is the reserved capacity in CPU units.
+	Reserved int
+	// Horizon is the accounting horizon (reserved capacity is paid for
+	// all of it).
+	Horizon simtime.Duration
+	// Pricing is the price book used.
+	Pricing cloud.Pricing
+	// Jobs holds one record per executed job.
+	Jobs []JobResult
+}
+
+// TotalCarbon returns cluster emissions in grams.
+func (r *Result) TotalCarbon() float64 {
+	var total float64
+	for i := range r.Jobs {
+		total += r.Jobs[i].Carbon
+	}
+	return total
+}
+
+// TotalCarbonKg returns cluster emissions in kilograms (the unit of
+// Figure 16).
+func (r *Result) TotalCarbonKg() float64 { return r.TotalCarbon() / 1000 }
+
+// BaselineCarbon returns the NoWait counterfactual emissions in grams.
+func (r *Result) BaselineCarbon() float64 {
+	var total float64
+	for i := range r.Jobs {
+		total += r.Jobs[i].BaselineCarbon
+	}
+	return total
+}
+
+// CarbonSavingsFraction returns 1 − carbon/baseline, the paper's
+// "normalized carbon savings". It returns 0 when the baseline is 0.
+func (r *Result) CarbonSavingsFraction() float64 {
+	base := r.BaselineCarbon()
+	if base == 0 {
+		return 0
+	}
+	return 1 - r.TotalCarbon()/base
+}
+
+// ReservedUpfront returns the pre-paid reserved cost over the horizon.
+func (r *Result) ReservedUpfront() float64 {
+	return r.Pricing.ReservedUpfront(r.Reserved, r.Horizon.Hours())
+}
+
+// UsageCost returns the pay-as-you-go dollars (on-demand + spot).
+func (r *Result) UsageCost() float64 {
+	var total float64
+	for i := range r.Jobs {
+		total += r.Jobs[i].UsageCost
+	}
+	return total
+}
+
+// TotalCost returns the cluster's total dollars: reserved upfront plus
+// usage. This is the paper's cost metric.
+func (r *Result) TotalCost() float64 { return r.ReservedUpfront() + r.UsageCost() }
+
+// MeanWaiting returns the mean per-job waiting time.
+func (r *Result) MeanWaiting() simtime.Duration {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var total simtime.Duration
+	for i := range r.Jobs {
+		total += r.Jobs[i].Waiting
+	}
+	return total / simtime.Duration(len(r.Jobs))
+}
+
+// MeanCompletion returns the mean per-job completion time.
+func (r *Result) MeanCompletion() simtime.Duration {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var total simtime.Duration
+	for i := range r.Jobs {
+		total += r.Jobs[i].Completion()
+	}
+	return total / simtime.Duration(len(r.Jobs))
+}
+
+// WaitingPercentile returns the p-th percentile (0-100) of per-job
+// waiting times; tail waits matter for user-facing SLOs even when the
+// mean looks benign. It returns 0 for an empty result.
+func (r *Result) WaitingPercentile(p float64) simtime.Duration {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(r.Jobs))
+	for i := range r.Jobs {
+		xs[i] = float64(r.Jobs[i].Waiting)
+	}
+	v, err := stats.Percentile(xs, p)
+	if err != nil {
+		return 0
+	}
+	return simtime.Duration(v)
+}
+
+// TotalEvictions counts spot revocations across the run.
+func (r *Result) TotalEvictions() int {
+	var total int
+	for i := range r.Jobs {
+		total += r.Jobs[i].Evictions
+	}
+	return total
+}
+
+// CPUHoursByOption returns total CPU·hours billed per purchase option.
+func (r *Result) CPUHoursByOption() [3]float64 {
+	var out [3]float64
+	for i := range r.Jobs {
+		for o := range out {
+			out[o] += r.Jobs[i].CPUHours[o]
+		}
+	}
+	return out
+}
+
+// ReservedUtilization returns used reserved CPU·hours over paid reserved
+// CPU·hours (0 with no reserved capacity). Low utilization is exactly the
+// effect that raises the effective price of reservations under
+// carbon-aware schedules.
+func (r *Result) ReservedUtilization() float64 {
+	paid := float64(r.Reserved) * r.Horizon.Hours()
+	if paid == 0 {
+		return 0
+	}
+	return r.CPUHoursByOption()[cloud.Reserved] / paid
+}
+
+// UsageSeries returns the cluster's hourly mean CPU allocation per
+// purchase option over [0, horizon) — the carbon-aware demand curves of
+// Figure 2a and the artifact's runtime file. Index the outer dimension
+// with cloud.Option.
+func (r *Result) UsageSeries(horizon simtime.Duration) [3][]float64 {
+	slots := int(horizon / simtime.Hour)
+	var out [3][]float64
+	if slots <= 0 {
+		return out
+	}
+	minutes := slots * 60
+	var diff [3][]int32
+	for o := range diff {
+		diff[o] = make([]int32, minutes+1)
+	}
+	addSeg := func(opt int, iv simtime.Interval, units int) {
+		if units == 0 {
+			return
+		}
+		s, e := int(iv.Start), int(iv.End)
+		if s < 0 {
+			s = 0
+		}
+		if e > minutes {
+			e = minutes
+		}
+		if s >= e {
+			return
+		}
+		diff[opt][s] += int32(units)
+		diff[opt][e] -= int32(units)
+	}
+	for i := range r.Jobs {
+		for _, seg := range r.Jobs[i].Segments {
+			addSeg(int(cloud.Reserved), seg.Interval, seg.Reserved)
+			addSeg(int(cloud.OnDemand), seg.Interval, seg.OnDemand)
+			addSeg(int(cloud.Spot), seg.Interval, seg.Spot)
+		}
+	}
+	for o := range out {
+		out[o] = make([]float64, slots)
+		var cur int32
+		for m := 0; m < minutes; m++ {
+			cur += diff[o][m]
+			out[o][m/60] += float64(cur)
+		}
+		for s := range out[o] {
+			out[o][s] /= 60
+		}
+	}
+	return out
+}
+
+// PeakDemand returns the maximum total hourly CPU allocation across all
+// options over [0, horizon).
+func (r *Result) PeakDemand(horizon simtime.Duration) float64 {
+	series := r.UsageSeries(horizon)
+	var peak float64
+	for s := range series[0] {
+		total := series[0][s] + series[1][s] + series[2][s]
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}
+
+// SavingsByLengthCDF returns the cumulative fraction of total carbon
+// savings contributed by jobs of length <= x minutes (Figure 9). Only
+// positive savings contribute weight.
+func (r *Result) SavingsByLengthCDF() *stats.WeightedCDF {
+	values := make([]float64, 0, len(r.Jobs))
+	weights := make([]float64, 0, len(r.Jobs))
+	for i := range r.Jobs {
+		s := r.Jobs[i].CarbonSaving()
+		if s <= 0 {
+			continue
+		}
+		values = append(values, float64(r.Jobs[i].Length))
+		weights = append(weights, s)
+	}
+	return stats.NewWeightedCDF(values, weights)
+}
+
+// String summarizes the run for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s[%s/%s R=%d]: carbon=%.2fkg cost=$%.2f wait=%v jobs=%d",
+		r.Label, r.Workload, r.Region, r.Reserved,
+		r.TotalCarbonKg(), r.TotalCost(), r.MeanWaiting(), len(r.Jobs))
+}
+
+// Relative compares this result against a baseline run of the same
+// workload: the paper's normalized metrics.
+type Relative struct {
+	Carbon     float64 // carbon / baseline carbon
+	Cost       float64 // cost / baseline cost
+	Waiting    float64 // mean waiting / baseline mean waiting (Inf-safe)
+	Completion float64 // mean completion / baseline mean completion
+}
+
+// CompareTo computes normalized metrics against base. Waiting falls back
+// to 0 denominator handling: a zero baseline (NoWait never waits) yields
+// the raw hours instead of a ratio.
+func (r *Result) CompareTo(base *Result) Relative {
+	rel := Relative{Carbon: 1, Cost: 1, Waiting: 0, Completion: 1}
+	if bc := base.TotalCarbon(); bc > 0 {
+		rel.Carbon = r.TotalCarbon() / bc
+	}
+	if bcost := base.TotalCost(); bcost > 0 {
+		rel.Cost = r.TotalCost() / bcost
+	}
+	if bw := base.MeanWaiting(); bw > 0 {
+		rel.Waiting = float64(r.MeanWaiting()) / float64(bw)
+	} else {
+		rel.Waiting = r.MeanWaiting().Hours()
+	}
+	if bcm := base.MeanCompletion(); bcm > 0 {
+		rel.Completion = float64(r.MeanCompletion()) / float64(bcm)
+	}
+	return rel
+}

@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// NoWait runs every job immediately on arrival: the carbon- and
+// cost-agnostic baseline.
+type NoWait struct{}
+
+// Name implements Policy.
+func (NoWait) Name() string { return "NoWait" }
+
+// Decide implements Policy.
+func (NoWait) Decide(_ workload.Job, now simtime.Time, _ *Context) Decision {
+	return Decision{Start: now}
+}
+
+// AllWait is the cost-aware baseline (AllWait-Threshold in the paper,
+// after Ambati et al.): a job waits for a reserved unit up to its queue's
+// maximum waiting time, then runs on on-demand capacity. The policy itself
+// only pins the fallback start at now+W; the scheduler's work-conserving
+// mechanism (core.Config.WorkConserving) starts the job earlier the moment
+// reserved capacity frees up.
+type AllWait struct{}
+
+// Name implements Policy.
+func (AllWait) Name() string { return "AllWait-Threshold" }
+
+// Decide implements Policy.
+func (AllWait) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	return Decision{Start: now.Add(ctx.Queue(job.Queue).MaxWait)}
+}
+
+// LowestSlot starts the job at the lowest-carbon-intensity hourly slot
+// within the waiting window. It needs no job-length knowledge at all
+// (paper §4.2.1).
+type LowestSlot struct{}
+
+// Name implements Policy.
+func (LowestSlot) Name() string { return "Lowest-Slot" }
+
+// Decide implements Policy.
+func (LowestSlot) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	w := ctx.Queue(job.Queue).MaxWait
+	best := now
+	bestCI := ctx.CIS.Intensity(now)
+	for _, s := range candidateStarts(now, w) {
+		if ci := ctx.CIS.Intensity(s); ci < bestCI {
+			best, bestCI = s, ci
+		}
+	}
+	return Decision{Start: best}
+}
+
+// LowestWindow starts the job where the carbon integral over the next
+// Javg (the queue-average length — a coarse estimate, since the scheduler
+// does not know the true length) is minimal (paper §4.2.1).
+type LowestWindow struct{}
+
+// Name implements Policy.
+func (LowestWindow) Name() string { return "Lowest-Window" }
+
+// Decide implements Policy.
+func (LowestWindow) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	w := ctx.Queue(job.Queue).MaxWait
+	est := estimatedLength(job, ctx)
+	best := now
+	bestC := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: now, End: now.Add(est)})
+	for _, s := range candidateStarts(now, w) {
+		c := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: s, End: s.Add(est)})
+		if c < bestC {
+			best, bestC = s, c
+		}
+	}
+	return Decision{Start: best}
+}
+
+// CarbonTime is GAIA's carbon- and performance-aware policy: it maximizes
+// the Carbon Saving per unit of Completion Time,
+//
+//	CST(s) = (C(now) − C(s)) / (s + Javg − now),
+//
+// so a long delay is only chosen when it buys proportionally more carbon
+// (paper §4.2.2). When no candidate start saves carbon it runs
+// immediately.
+type CarbonTime struct{}
+
+// Name implements Policy.
+func (CarbonTime) Name() string { return "Carbon-Time" }
+
+// Decide implements Policy.
+func (CarbonTime) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	w := ctx.Queue(job.Queue).MaxWait
+	est := estimatedLength(job, ctx)
+	baseline := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: now, End: now.Add(est)})
+	best := now
+	bestCST := 0.0
+	for _, s := range candidateStarts(now, w) {
+		c := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: s, End: s.Add(est)})
+		saving := baseline - c
+		if saving <= 0 {
+			continue
+		}
+		completion := s.Add(est).Sub(now).Hours()
+		if completion <= 0 {
+			continue
+		}
+		if cst := saving / completion; cst > bestCST {
+			best, bestCST = s, cst
+		}
+	}
+	return Decision{Start: best}
+}

@@ -1,0 +1,136 @@
+package policy
+
+// Oracle tests: re-verify each policy's decision against a brute-force
+// evaluation of its declared objective over the same candidate set.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func randomCtx(seed int64, hours int) *Context {
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, hours)
+	for i := range values {
+		values[i] = 20 + rng.Float64()*600
+	}
+	return &Context{
+		CIS: carbon.NewPerfectService(carbon.MustTrace("r", values)),
+		Queues: map[workload.Queue]QueueInfo{
+			workload.QueueShort: {MaxWait: 6 * simtime.Hour, AvgLength: 90 * simtime.Minute},
+			workload.QueueLong:  {MaxWait: 24 * simtime.Hour, AvgLength: 5 * simtime.Hour},
+		},
+	}
+}
+
+func windowCarbon(ctx *Context, now, start simtime.Time, length simtime.Duration) float64 {
+	return ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: start, End: start.Add(length)})
+}
+
+// Lowest-Window's start must achieve the minimal window integral among
+// all candidate starts.
+func TestOracleLowestWindow(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		ctx := randomCtx(seed, 24*4)
+		now := simtime.Time(seed * 37 % 2000)
+		for _, job := range []workload.Job{shortJob(2 * simtime.Hour), longJob(8 * simtime.Hour)} {
+			d := LowestWindow{}.Decide(job, now, ctx)
+			est := estimatedLength(job, ctx)
+			got := windowCarbon(ctx, now, d.Start, est)
+			for _, s := range candidateStarts(now, ctx.Queue(job.Queue).MaxWait) {
+				if c := windowCarbon(ctx, now, s, est); c < got-1e-9 {
+					t.Fatalf("seed %d: start %v (%v) beaten by %v (%v)", seed, d.Start, got, s, c)
+				}
+			}
+		}
+	}
+}
+
+// Lowest-Slot's start must achieve the minimal instantaneous CI among all
+// candidates.
+func TestOracleLowestSlot(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		ctx := randomCtx(seed, 24*4)
+		now := simtime.Time(seed * 53 % 2000)
+		job := shortJob(simtime.Hour)
+		d := LowestSlot{}.Decide(job, now, ctx)
+		got := ctx.CIS.Intensity(d.Start)
+		for _, s := range candidateStarts(now, ctx.Queue(job.Queue).MaxWait) {
+			if c := ctx.CIS.Intensity(s); c < got-1e-9 {
+				t.Fatalf("seed %d: slot %v beaten by %v", seed, d.Start, s)
+			}
+		}
+	}
+}
+
+// Carbon-Time's start must maximize CST; and when it delays, the chosen
+// start's CST must be positive.
+func TestOracleCarbonTime(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		ctx := randomCtx(seed, 24*4)
+		now := simtime.Time(seed * 71 % 2000)
+		job := longJob(6 * simtime.Hour)
+		est := estimatedLength(job, ctx)
+		baseline := windowCarbon(ctx, now, now, est)
+		cst := func(s simtime.Time) float64 {
+			saving := baseline - windowCarbon(ctx, now, s, est)
+			completion := s.Add(est).Sub(now).Hours()
+			if completion <= 0 {
+				return 0
+			}
+			return saving / completion
+		}
+		d := CarbonTime{}.Decide(job, now, ctx)
+		got := cst(d.Start)
+		for _, s := range candidateStarts(now, ctx.Queue(job.Queue).MaxWait) {
+			if c := cst(s); c > got+1e-9 && c > 0 {
+				t.Fatalf("seed %d: CST %v at %v beaten by %v at %v", seed, got, d.Start, c, s)
+			}
+		}
+		if d.Start != now && got <= 0 {
+			t.Fatalf("seed %d: delayed to %v with non-positive CST %v", seed, d.Start, got)
+		}
+	}
+}
+
+// WaitAwhile's plan must emit no more carbon than any same-length plan
+// built from a random subset of slots in the same deadline window.
+func TestOracleWaitAwhileVsRandomPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(1); seed <= 10; seed++ {
+		ctx := randomCtx(seed, 24*4)
+		now := simtime.Time(seed * 97 % 1000)
+		job := shortJob(3 * simtime.Hour)
+		d := WaitAwhile{}.Decide(job, now, ctx)
+		planC := 0.0
+		for _, iv := range d.Plan {
+			planC += ctx.CIS.ForecastIntegral(now, iv)
+		}
+		deadline := now.Add(job.Length + ctx.Queue(job.Queue).MaxWait)
+		slots := hourSlots(now, deadline)
+		for trial := 0; trial < 30; trial++ {
+			perm := rng.Perm(len(slots))
+			var total simtime.Duration
+			var c float64
+			for _, idx := range perm {
+				if total >= job.Length {
+					break
+				}
+				s := slots[idx]
+				need := job.Length - total
+				if s.Len() > need {
+					s.End = s.Start.Add(need)
+				}
+				c += ctx.CIS.ForecastIntegral(now, s)
+				total += s.Len()
+			}
+			if total == job.Length && c < planC-1e-9 {
+				t.Fatalf("seed %d: WaitAwhile plan (%v) beaten by random plan (%v)", seed, planC, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// testCtx builds a Context over the given hourly CI values with the
+// paper's default queue configuration (Wshort=6h, Wlong=24h).
+func testCtx(values []float64, avgShort, avgLong simtime.Duration) *Context {
+	tr := carbon.MustTrace("test", values)
+	return &Context{
+		CIS: carbon.NewPerfectService(tr),
+		Queues: map[workload.Queue]QueueInfo{
+			workload.QueueShort: {MaxWait: 6 * simtime.Hour, AvgLength: avgShort},
+			workload.QueueLong:  {MaxWait: 24 * simtime.Hour, AvgLength: avgLong},
+		},
+	}
+}
+
+func shortJob(length simtime.Duration) workload.Job {
+	return workload.Job{ID: 1, Length: length, CPUs: 1, Queue: workload.QueueShort}
+}
+
+func longJob(length simtime.Duration) workload.Job {
+	return workload.Job{ID: 2, Length: length, CPUs: 1, Queue: workload.QueueLong}
+}
+
+func TestNoWait(t *testing.T) {
+	ctx := testCtx([]float64{500, 100, 100, 100, 100, 100, 100, 100}, simtime.Hour, 4*simtime.Hour)
+	d := NoWait{}.Decide(shortJob(simtime.Hour), 90, ctx)
+	if d.Start != 90 || d.IsPlan() {
+		t.Errorf("NoWait decision = %+v", d)
+	}
+	if (NoWait{}).Name() != "NoWait" {
+		t.Error("name")
+	}
+}
+
+func TestAllWait(t *testing.T) {
+	ctx := testCtx([]float64{100, 100}, simtime.Hour, 4*simtime.Hour)
+	d := AllWait{}.Decide(shortJob(simtime.Hour), 10, ctx)
+	if d.Start != simtime.Time(10+6*60) {
+		t.Errorf("AllWait start = %v, want now+6h", d.Start)
+	}
+	d = AllWait{}.Decide(longJob(5*simtime.Hour), 10, ctx)
+	if d.Start != simtime.Time(10+24*60) {
+		t.Errorf("AllWait long start = %v, want now+24h", d.Start)
+	}
+}
+
+func TestLowestSlotPicksMinCI(t *testing.T) {
+	// Min CI within 6 h window is hour 3.
+	ctx := testCtx([]float64{400, 300, 200, 50, 500, 600, 700, 800, 10}, simtime.Hour, 4*simtime.Hour)
+	d := LowestSlot{}.Decide(shortJob(simtime.Hour), 0, ctx)
+	if d.Start != simtime.Time(3*simtime.Hour) {
+		t.Errorf("LowestSlot start = %v, want hour 3", d.Start)
+	}
+	// Hour 8's CI of 10 is outside the 6 h short window and must not win.
+	if d.Start >= simtime.Time(7*simtime.Hour) {
+		t.Error("LowestSlot exceeded waiting window")
+	}
+}
+
+func TestLowestSlotMidSlotArrival(t *testing.T) {
+	// Arriving mid-slot: "now" competes with hourly boundaries.
+	ctx := testCtx([]float64{50, 400, 400, 400, 400, 400, 400, 400}, simtime.Hour, 4*simtime.Hour)
+	d := LowestSlot{}.Decide(shortJob(simtime.Hour), 30, ctx)
+	if d.Start != 30 {
+		t.Errorf("LowestSlot start = %v, want 30 (stay in cheap current slot)", d.Start)
+	}
+}
+
+func TestLowestWindowUsesEstimate(t *testing.T) {
+	// Slot 2 has the lowest instantaneous CI, but a 2-hour window starting
+	// at slot 4 is cheaper in total.
+	values := []float64{400, 400, 100, 450, 120, 130, 400, 400}
+	ctx := testCtx(values, 2*simtime.Hour, 4*simtime.Hour)
+	d := LowestWindow{}.Decide(shortJob(90*simtime.Minute), 0, ctx)
+	if d.Start != simtime.Time(4*simtime.Hour) {
+		t.Errorf("LowestWindow start = %v, want hour 4", d.Start)
+	}
+	// LowestSlot would have picked slot 2 instead.
+	ds := LowestSlot{}.Decide(shortJob(90*simtime.Minute), 0, ctx)
+	if ds.Start != simtime.Time(2*simtime.Hour) {
+		t.Errorf("LowestSlot start = %v, want hour 2", ds.Start)
+	}
+}
+
+func TestCarbonTimeBalancesSavingAndDelay(t *testing.T) {
+	// Waiting 1 h saves 300 g/kWh·h (CST≈150/h with a 1 h job); waiting
+	// 6 h saves 390 (CST≈55.7/h). Carbon-Time must take the early slot,
+	// Lowest-Window the late one.
+	values := []float64{400, 100, 400, 400, 400, 400, 10, 400}
+	ctx := testCtx(values, simtime.Hour, 4*simtime.Hour)
+	dct := CarbonTime{}.Decide(shortJob(simtime.Hour), 0, ctx)
+	if dct.Start != simtime.Time(simtime.Hour) {
+		t.Errorf("CarbonTime start = %v, want hour 1", dct.Start)
+	}
+	dlw := LowestWindow{}.Decide(shortJob(simtime.Hour), 0, ctx)
+	if dlw.Start != simtime.Time(6*simtime.Hour) {
+		t.Errorf("LowestWindow start = %v, want hour 6", dlw.Start)
+	}
+}
+
+func TestCarbonTimeRunsNowWithoutSavings(t *testing.T) {
+	// Rising CI: no future start saves carbon.
+	values := []float64{100, 200, 300, 400, 500, 600, 700, 800}
+	ctx := testCtx(values, simtime.Hour, 4*simtime.Hour)
+	d := CarbonTime{}.Decide(shortJob(simtime.Hour), 15, ctx)
+	if d.Start != 15 {
+		t.Errorf("CarbonTime start = %v, want now", d.Start)
+	}
+}
+
+func TestDecisionValidate(t *testing.T) {
+	job := shortJob(2 * simtime.Hour)
+	good := Decision{Plan: []simtime.Interval{
+		{Start: 60, End: 120},
+		{Start: 180, End: 240},
+	}}
+	if err := good.Validate(job, 0); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+	cases := []Decision{
+		{Start: -1},
+		{Plan: []simtime.Interval{{Start: 60, End: 60}, {Start: 60, End: 180}}},   // empty interval
+		{Plan: []simtime.Interval{{Start: 120, End: 180}, {Start: 60, End: 120}}}, // out of order
+	}
+	for i, d := range cases {
+		if err := d.Validate(job, 0); err == nil {
+			t.Errorf("case %d: invalid decision accepted", i)
+		}
+	}
+	if err := (Decision{Start: 5}).Validate(job, 10); err == nil {
+		t.Error("start before now accepted")
+	}
+	// Under-covering plans are valid (estimate-based policies); exact
+	// coverage is a separate, stronger property.
+	short := Decision{Plan: []simtime.Interval{{Start: 60, End: 120}}}
+	if err := short.Validate(job, 0); err != nil {
+		t.Errorf("under-covering plan rejected: %v", err)
+	}
+	if short.ExactCoverage(job.Length) {
+		t.Error("1h plan should not exactly cover a 2h job")
+	}
+	if !good.ExactCoverage(job.Length) {
+		t.Error("good plan should exactly cover the job")
+	}
+}
+
+func TestCandidateStarts(t *testing.T) {
+	// Candidates are now plus hourly boundaries up to now+W; now+W itself
+	// (minute 150) is mid-slot and adds nothing over the slot's boundary.
+	got := candidateStarts(30, 2*simtime.Hour)
+	want := []simtime.Time{30, 60, 120}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+	if cs := candidateStarts(30, 0); len(cs) != 1 || cs[0] != 30 {
+		t.Errorf("zero window candidates = %v", cs)
+	}
+}
+
+func TestEstimatedLengthFallback(t *testing.T) {
+	ctx := &Context{Queues: map[workload.Queue]QueueInfo{}}
+	if got := estimatedLength(shortJob(5*simtime.Hour), ctx); got != simtime.Hour {
+		t.Errorf("fallback estimate = %v, want 1h", got)
+	}
+}
+
+// Property: every uninterruptible policy starts within [now, now+W].
+func TestStartWithinWindowProperty(t *testing.T) {
+	policies := []Policy{NoWait{}, AllWait{}, LowestSlot{}, LowestWindow{}, CarbonTime{}}
+	f := func(seed int64, nowRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, 24*10)
+		for i := range values {
+			values[i] = 50 + rng.Float64()*500
+		}
+		ctx := testCtx(values, simtime.Hour, 4*simtime.Hour)
+		now := simtime.Time(nowRaw % 5000)
+		for _, q := range []workload.Job{shortJob(2 * simtime.Hour), longJob(8 * simtime.Hour)} {
+			w := ctx.Queue(q.Queue).MaxWait
+			for _, p := range policies {
+				d := p.Decide(q, now, ctx)
+				if d.IsPlan() {
+					return false
+				}
+				if d.Start < now || d.Start > now.Add(w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []simtime.Time
+	for _, tm := range []simtime.Time{50, 10, 30, 20, 40} {
+		tm := tm
+		e.Schedule(tm, PriorityLow, func() { got = append(got, tm) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events ran out of order: %v", got)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Executed() != 5 {
+		t.Errorf("Executed = %d", e.Executed())
+	}
+}
+
+func TestPriorityOrderingAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []Priority
+	// Schedule in reverse priority order; execution must follow priority.
+	for _, p := range []Priority{PriorityArrival, PriorityStart, PriorityEvict, PriorityFinish} {
+		p := p
+		e.Schedule(100, p, func() { got = append(got, p) })
+	}
+	e.Run()
+	want := []Priority{PriorityFinish, PriorityEvict, PriorityStart, PriorityArrival}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOWithinSamePriority(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, PriorityStart, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-priority events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10, PriorityLow, func() { ran = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Error("Canceled() should be true")
+	}
+	e.Run()
+	if ran {
+		t.Error("canceled event must not run")
+	}
+	if e.Executed() != 0 {
+		t.Errorf("Executed = %d", e.Executed())
+	}
+}
+
+func TestSchedulingFromCallback(t *testing.T) {
+	e := NewEngine()
+	var got []simtime.Time
+	e.Schedule(10, PriorityLow, func() {
+		got = append(got, e.Now())
+		e.Schedule(20, PriorityLow, func() { got = append(got, e.Now()) })
+		// Same-instant follow-up is allowed.
+		e.Schedule(10, PriorityLow, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []simtime.Time{10, 10, 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, PriorityLow, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.Schedule(5, PriorityLow, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback should panic")
+		}
+	}()
+	NewEngine().Schedule(1, PriorityLow, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []simtime.Time
+	for _, tm := range []simtime.Time{10, 20, 30} {
+		tm := tm
+		e.Schedule(tm, PriorityLow, func() { ran = append(ran, tm) })
+	}
+	e.RunUntil(20)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events, want 2", len(ran))
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	// Advancing past everything drains and moves the clock.
+	e.RunUntil(100)
+	if len(ran) != 3 || e.Now() != 100 {
+		t.Errorf("after drain: ran=%d now=%v", len(ran), e.Now())
+	}
+}
+
+// Property: any random schedule executes in non-decreasing (time, priority)
+// order and the clock never goes backwards.
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		type fired struct {
+			t simtime.Time
+			p Priority
+		}
+		var log []fired
+		for i := 0; i < int(n); i++ {
+			tm := simtime.Time(rng.Intn(100))
+			p := Priority(rng.Intn(5))
+			e.Schedule(tm, p, func() { log = append(log, fired{e.Now(), p}) })
+		}
+		e.Run()
+		for i := 1; i < len(log); i++ {
+			if log[i].t < log[i-1].t {
+				return false
+			}
+			if log[i].t == log[i-1].t && log[i].p < log[i-1].p {
+				return false
+			}
+		}
+		return len(log) == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var got []int
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			i := i
+			e.Schedule(simtime.Time(rng.Intn(50)), Priority(rng.Intn(5)), func() {
+				got = append(got, i)
+			})
+		}
+		e.Run()
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replay diverged")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHourIndex(t *testing.T) {
+	tests := []struct {
+		t    Time
+		want int
+	}{
+		{0, 0},
+		{59, 0},
+		{60, 1},
+		{61, 1},
+		{119, 1},
+		{120, 2},
+		{Time(Day), 24},
+		{-1, -1},
+		{-60, -1},
+		{-61, -2},
+	}
+	for _, tt := range tests {
+		if got := tt.t.HourIndex(); got != tt.want {
+			t.Errorf("Time(%d).HourIndex() = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestHourOfDayAndMinute(t *testing.T) {
+	tm := Time(0).Add(3*Day + 7*Hour + 25*Minute)
+	if got := tm.HourOfDay(); got != 7 {
+		t.Errorf("HourOfDay = %d, want 7", got)
+	}
+	if got := tm.MinuteOfHour(); got != 25 {
+		t.Errorf("MinuteOfHour = %d, want 25", got)
+	}
+	if got := tm.DayIndex(); got != 3 {
+		t.Errorf("DayIndex = %d, want 3", got)
+	}
+}
+
+func TestMonth(t *testing.T) {
+	tests := []struct {
+		day   int
+		month int
+	}{
+		{0, 0},    // Jan 1
+		{30, 0},   // Jan 31
+		{31, 1},   // Feb 1
+		{58, 1},   // Feb 28
+		{59, 2},   // Mar 1
+		{364, 11}, // Dec 31
+		{365, 0},  // wraps to Jan 1 of year 2
+	}
+	for _, tt := range tests {
+		tm := Time(Duration(tt.day) * Day)
+		if got := tm.Month(); got != tt.month {
+			t.Errorf("day %d: Month() = %d, want %d", tt.day, got, tt.month)
+		}
+	}
+}
+
+func TestMonthIntervalCoversYear(t *testing.T) {
+	var total Duration
+	prevEnd := Time(0)
+	for m := 0; m < 12; m++ {
+		iv := MonthInterval(m)
+		if iv.Start != prevEnd {
+			t.Errorf("month %d starts at %v, want %v", m, iv.Start, prevEnd)
+		}
+		total += iv.Len()
+		prevEnd = iv.End
+	}
+	if total != Year {
+		t.Errorf("months total %v, want %v", total, Year)
+	}
+}
+
+func TestMonthIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MonthInterval(12) did not panic")
+		}
+	}()
+	MonthInterval(12)
+}
+
+func TestDurationString(t *testing.T) {
+	tests := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0m"},
+		{15 * Minute, "15m"},
+		{Hour, "1h"},
+		{4*Hour + 30*Minute, "4h30m"},
+		{-90 * Minute, "-1h30m"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tm := Time(0).Add(12*Day + 7*Hour + 30*Minute)
+	if got := tm.String(); got != "d12h07m30" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestHoursDur(t *testing.T) {
+	if got := HoursDur(4.5); got != 4*Hour+30*Minute {
+		t.Errorf("HoursDur(4.5) = %v", got)
+	}
+	if got := HoursDur(0); got != 0 {
+		t.Errorf("HoursDur(0) = %v", got)
+	}
+	if got := HoursDur(-2); got != -2*Hour {
+		t.Errorf("HoursDur(-2) = %v", got)
+	}
+	// Rounds to nearest minute.
+	if got := HoursDur(1.0 / 60.0); got != Minute {
+		t.Errorf("HoursDur(1/60) = %v, want 1m", got)
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{Start: 10, End: 20}
+	tests := []struct {
+		b    Interval
+		want Interval
+	}{
+		{Interval{0, 5}, Interval{10, 10}},   // disjoint before
+		{Interval{25, 30}, Interval{25, 25}}, // disjoint after
+		{Interval{5, 15}, Interval{10, 15}},  // left overlap
+		{Interval{15, 25}, Interval{15, 20}}, // right overlap
+		{Interval{12, 18}, Interval{12, 18}}, // contained
+		{Interval{0, 30}, Interval{10, 20}},  // containing
+	}
+	for _, tt := range tests {
+		got := a.Intersect(tt.b)
+		if got.Len() != tt.want.Len() || (got.Len() > 0 && got != tt.want) {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Start: 10, End: 20}
+	if iv.Len() != 10 {
+		t.Errorf("Len = %v", iv.Len())
+	}
+	if !iv.Contains(10) || iv.Contains(20) || !iv.Contains(19) {
+		t.Error("Contains half-open semantics violated")
+	}
+	empty := Interval{Start: 20, End: 10}
+	if empty.Len() != 0 || !empty.IsEmpty() {
+		t.Error("inverted interval should be empty")
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if MinTime(3, 5) != 3 || MaxTime(3, 5) != 5 {
+		t.Error("MinTime/MaxTime broken")
+	}
+}
+
+// Property: intersect is commutative and result is contained in both.
+func TestIntersectProperties(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := Interval{Start: Time(a0), End: Time(a1)}
+		b := Interval{Start: Time(b0), End: Time(b1)}
+		x := a.Intersect(b)
+		y := b.Intersect(a)
+		if x.Len() != y.Len() {
+			return false
+		}
+		if x.Len() > 0 {
+			if x.Start < a.Start || x.End > a.End || x.Start < b.Start || x.End > b.End {
+				return false
+			}
+		}
+		return x.Len() <= a.Len() && x.Len() <= b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HourIndex is monotone non-decreasing in time.
+func TestHourIndexMonotone(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Time(a), Time(b)
+		if x > y {
+			x, y = y, x
+		}
+		return x.HourIndex() <= y.HourIndex()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Month is always in [0, 12) and month boundaries agree with
+// MonthInterval.
+func TestMonthWithinRange(t *testing.T) {
+	f := func(a int32) bool {
+		m := Time(a).Month()
+		return m >= 0 && m < 12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for m := 0; m < 12; m++ {
+		iv := MonthInterval(m)
+		if iv.Start.Month() != m {
+			t.Errorf("start of month %d reports month %d", m, iv.Start.Month())
+		}
+		if last := iv.End.Add(-Minute); last.Month() != m {
+			t.Errorf("end-1 of month %d reports month %d", m, last.Month())
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func sampleN(d Distribution, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample()
+	}
+	return xs
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := NewExponential(newRNG(), 48)
+	xs := sampleN(d, 50000)
+	m := Mean(xs)
+	if math.Abs(m-48) > 1.5 {
+		t.Errorf("empirical mean %v, want ≈48", m)
+	}
+	if d.Mean() != 48 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+	for _, x := range xs[:100] {
+		if x < 0 {
+			t.Fatal("negative exponential sample")
+		}
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExponential(newRNG(), 0)
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	mu, sigma := math.Log(120), 0.5
+	d := NewLogNormal(newRNG(), mu, sigma)
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Errorf("Mean() = %v, want %v", d.Mean(), want)
+	}
+	xs := sampleN(d, 50000)
+	if m := Mean(xs); math.Abs(m-want)/want > 0.05 {
+		t.Errorf("empirical mean %v, want ≈%v", m, want)
+	}
+}
+
+func TestTruncLogNormalBounds(t *testing.T) {
+	d := NewTruncLogNormal(newRNG(), math.Log(60), 2.0, 5, 300)
+	for i := 0; i < 10000; i++ {
+		x := d.Sample()
+		if x < 5 || x > 300 {
+			t.Fatalf("sample %v outside [5, 300]", x)
+		}
+	}
+}
+
+func TestTruncLogNormalClampFallback(t *testing.T) {
+	// Impossible band far from the median forces the clamp path.
+	d := NewTruncLogNormal(newRNG(), math.Log(1), 0.0001, 50, 60)
+	x := d.Sample()
+	if x < 50 || x > 60 {
+		t.Errorf("clamped sample %v outside [50, 60]", x)
+	}
+}
+
+func TestLogNormalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLogNormal(newRNG(), 0, -1)
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	d := NewBoundedPareto(newRNG(), 1.1, 1, 100)
+	xs := sampleN(d, 20000)
+	min, max, _ := MinMax(xs)
+	if min < 1 || max > 100 {
+		t.Errorf("samples outside [1, 100]: min %v max %v", min, max)
+	}
+	// Heavy tail: mean should exceed median substantially.
+	med, _ := Percentile(xs, 50)
+	if Mean(xs) < med {
+		t.Error("bounded pareto should be right-skewed")
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	d := NewBoundedPareto(newRNG(), 1.5, 1, 1000)
+	xs := sampleN(d, 200000)
+	m := Mean(xs)
+	if math.Abs(m-d.Mean())/d.Mean() > 0.1 {
+		t.Errorf("empirical mean %v vs theoretical %v", m, d.Mean())
+	}
+	// alpha == 1 branch.
+	d1 := NewBoundedPareto(newRNG(), 1, 1, 100)
+	if d1.Mean() <= 0 {
+		t.Error("alpha=1 mean should be positive")
+	}
+}
+
+func TestBoundedParetoPanics(t *testing.T) {
+	for _, args := range [][3]float64{{0, 1, 2}, {1, 0, 2}, {1, 2, 2}, {1, 3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("args %v: expected panic", args)
+				}
+			}()
+			NewBoundedPareto(newRNG(), args[0], args[1], args[2])
+		}()
+	}
+}
+
+func TestMixture(t *testing.T) {
+	rng := newRNG()
+	m := NewMixture(rng,
+		[]Distribution{Constant(1), Constant(10)},
+		[]float64{3, 1})
+	if math.Abs(m.Mean()-3.25) > 1e-12 {
+		t.Errorf("Mean = %v, want 3.25", m.Mean())
+	}
+	var ones, tens int
+	for i := 0; i < 10000; i++ {
+		switch m.Sample() {
+		case 1:
+			ones++
+		case 10:
+			tens++
+		default:
+			t.Fatal("unexpected sample")
+		}
+	}
+	frac := float64(ones) / 10000
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Errorf("component-1 fraction = %v, want ≈0.75", frac)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	cases := []struct {
+		comps []Distribution
+		ws    []float64
+	}{
+		{nil, nil},
+		{[]Distribution{Constant(1)}, []float64{1, 2}},
+		{[]Distribution{Constant(1)}, []float64{-1}},
+		{[]Distribution{Constant(1)}, []float64{0}},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewMixture(newRNG(), c.comps, c.ws)
+		}()
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(7)
+	if c.Sample() != 7 || c.Mean() != 7 {
+		t.Error("Constant broken")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := newRNG()
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[WeightedChoice(rng, []float64{1, 2, 7})]++
+	}
+	fr2 := float64(counts[2]) / 30000
+	if math.Abs(fr2-0.7) > 0.02 {
+		t.Errorf("choice-2 fraction = %v, want ≈0.7", fr2)
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Error("all indices should be chosen eventually")
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	for _, ws := range [][]float64{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v: expected panic", ws)
+				}
+			}()
+			WeightedChoice(newRNG(), ws)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := sampleN(NewExponential(rand.New(rand.NewSource(7)), 10), 100)
+	b := sampleN(NewExponential(rand.New(rand.NewSource(7)), 10), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}

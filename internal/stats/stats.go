@@ -1,0 +1,192 @@
+// Package stats provides the small statistics toolkit used by the GAIA
+// simulator: descriptive statistics, percentiles, empirical CDFs,
+// histograms, Pearson correlation, and seeded random distributions for the
+// synthetic trace generators.
+//
+// Everything here is deterministic given its inputs; the random samplers
+// take an explicit *rand.Rand so experiments are reproducible.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation (stddev/mean). It returns 0 when
+// the mean is 0 to avoid dividing by zero on degenerate inputs.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// MinMax returns the minimum and maximum of xs. It returns ErrEmpty for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between order statistics. It returns ErrEmpty for an empty
+// slice. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// percentileSorted computes a percentile over already-sorted data.
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient of paired samples
+// xs and ys. It returns an error when the lengths differ, when there are
+// fewer than two points, or when either series is constant.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: correlation requires equal-length samples")
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: correlation undefined for constant series")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Accumulator computes running mean/variance/extrema without retaining
+// samples (Welford's algorithm). The zero value is ready to use.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+	sum      float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	a.sum += x
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of samples added.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Sum returns the running total.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the running mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the running population variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Accumulator) Max() float64 { return a.max }

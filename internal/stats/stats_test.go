@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSumMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Sum(xs); got != 40 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := CV(xs); got != 0.4 {
+		t.Errorf("CV = %v", got)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || CV(nil) != 0 {
+		t.Error("empty slice should yield zeros")
+	}
+	if Variance([]float64{7}) != 0 {
+		t.Error("single sample variance should be 0")
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Error("zero-mean CV should be 0")
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Error("MinMax(nil) should return ErrEmpty")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil) should return ErrEmpty")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil || min != -1 || max != 5 {
+		t.Errorf("MinMax = %v, %v, %v", min, max, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{-5, 15},  // clamped
+		{150, 50}, // clamped
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil || !almostEq(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, %v; want %v", tt.p, got, err, tt.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	got, err := Percentile([]float64{0, 10}, 25)
+	if err != nil || !almostEq(got, 2.5, 1e-9) {
+		t.Errorf("Percentile interpolation = %v, want 2.5", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Correlation(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Correlation(xs, neg)
+	if err != nil || !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v, %v", r, err)
+	}
+	if _, err := Correlation(xs, ys[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("constant series should error")
+	}
+	if _, err := Correlation([]float64{1}, []float64{2}); err != ErrEmpty {
+		t.Error("too-short input should return ErrEmpty")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() != int64(len(xs)) {
+		t.Errorf("N = %d", a.N())
+	}
+	if !almostEq(a.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	if !almostEq(a.Variance(), Variance(xs), 1e-12) {
+		t.Errorf("Variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if !almostEq(a.Sum(), 40, 1e-12) {
+		t.Errorf("Sum = %v", a.Sum())
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdDev() != 0 {
+		t.Error("zero-value accumulator should report zeros")
+	}
+}
+
+// Property: accumulator mean/variance agree with the batch formulas for any
+// input.
+func TestAccumulatorProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		scale := math.Max(1, math.Abs(a.Variance()))
+		return almostEq(a.Mean(), Mean(xs), 1e-6) &&
+			almostEq(a.Variance(), Variance(xs), 1e-6*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		lo, hi := float64(p1%101), float64(p2%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		q1, _ := Percentile(xs, lo)
+		q2, _ := Percentile(xs, hi)
+		min, max, _ := MinMax(xs)
+		return q1 <= q2+1e-9 && q1 >= min-1e-9 && q2 <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// WriteCSV writes the trace as "id,arrival_min,length_min,cpus,queue,user"
+// rows with a header. Real cluster traces converted to this schema can be
+// replayed through the simulator unchanged.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival_min", "length_min", "cpus", "queue", "user"}); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, j := range t.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			strconv.FormatInt(int64(j.Arrival), 10),
+			strconv.FormatInt(int64(j.Length), 10),
+			strconv.Itoa(j.CPUs),
+			j.Queue.String(),
+			j.User,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The user column is optional
+// (5-column files from older exports load with empty users).
+func ReadCSV(name string, r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("workload: csv has no rows")
+	}
+	jobs := make([]Job, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) < 5 || len(row) > 6 {
+			return nil, fmt.Errorf("workload: row %d: want 5 or 6 fields, got %d", i+1, len(row))
+		}
+		arrival, err1 := strconv.ParseInt(row[1], 10, 64)
+		length, err2 := strconv.ParseInt(row[2], 10, 64)
+		cpus, err3 := strconv.Atoi(row[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("workload: row %d: malformed fields %v", i+1, row)
+		}
+		q, err := ParseQueue(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i+1, err)
+		}
+		user := ""
+		if len(row) == 6 {
+			user = row[5]
+		}
+		jobs = append(jobs, Job{
+			Arrival: simtime.Time(arrival),
+			Length:  simtime.Duration(length),
+			CPUs:    cpus,
+			Queue:   q,
+			User:    user,
+		})
+	}
+	return NewTrace(name, jobs)
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+func TestWorkloadCSVRoundTrip(t *testing.T) {
+	tr := AlibabaPAI().GenerateByCount(rand.New(rand.NewSource(1)), 200, simtime.Week)
+	tr.AssignQueues(2 * simtime.Hour)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip length %d != %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Jobs {
+		a, b := tr.Jobs[i], got.Jobs[i]
+		if a.Arrival != b.Arrival || a.Length != b.Length || a.CPUs != b.CPUs || a.Queue != b.Queue {
+			t.Fatalf("job %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWorkloadReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"badArrival", "h,h,h,h,h\n0,x,10,1,short\n"},
+		{"badLength", "h,h,h,h,h\n0,0,x,1,short\n"},
+		{"badCPUs", "h,h,h,h,h\n0,0,10,x,short\n"},
+		{"badQueue", "h,h,h,h,h\n0,0,10,1,weird\n"},
+		{"invalidJob", "h,h,h,h,h\n0,0,0,1,short\n"},
+		{"wrongFields", "h,h,h,h,h\n0,0,10\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("x", strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWorkloadReadCSVHeaderOnly(t *testing.T) {
+	got, err := ReadCSV("x", strings.NewReader("id,arrival_min,length_min,cpus,queue\n"))
+	if err != nil || got.Len() != 0 {
+		t.Errorf("header-only = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the workload parser never panics and that anything
+// it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,arrival_min,length_min,cpus,queue,user\n0,0,60,1,short,u01\n")
+	f.Add("id,arrival_min,length_min,cpus,queue\n0,10,5,2,long\n")
+	f.Add("h,h,h,h,h\n0,0,0,1,short\n")
+	f.Add("")
+	f.Add("id,arrival_min,length_min,cpus,queue\n0,-5,60,1,q99\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := ReadCSV("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed job count: %d != %d", again.Len(), tr.Len())
+		}
+	})
+}
