@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test cover bench figures figures-full examples clean
+.PHONY: all build vet test race cover bench figures figures-full examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The sweep engine runs simulation cells concurrently; keep it race-clean.
+race:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

@@ -9,10 +9,12 @@ package gaia
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/core"
 	"github.com/carbonsched/gaia/internal/experiments"
+	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/workload"
@@ -64,6 +66,67 @@ func BenchmarkX05Checkpoint(b *testing.B)      { benchFigure(b, "x05-checkpoint"
 func BenchmarkX06Spatial(b *testing.B)         { benchFigure(b, "x06-spatial") }
 func BenchmarkX07CarbonTax(b *testing.B)       { benchFigure(b, "x07-carbontax") }
 func BenchmarkX08Scaling(b *testing.B)         { benchFigure(b, "x08-scaling") }
+
+// sweepCells builds a 16-cell reserved-size sweep — the canonical sweep
+// shape of the evaluation (Figure 11) — shared by the sequential and
+// parallel sweep benchmarks below.
+func sweepCells() ([]core.Config, *workload.Trace) {
+	tr := carbon.RegionSAAU.Generate(24*10, 1)
+	jobs := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(2)), 1000, simtime.Week)
+	cfgs := make([]core.Config, 16)
+	for i := range cfgs {
+		cfgs[i] = core.Config{
+			Policy:         policy.CarbonTime{},
+			Carbon:         tr,
+			Reserved:       10 * i,
+			WorkConserving: true,
+		}
+	}
+	return cfgs, jobs
+}
+
+// BenchmarkSweepSequential runs the 16-cell sweep one cell at a time.
+func BenchmarkSweepSequential(b *testing.B) {
+	cfgs, jobs := sweepCells()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := par.Map(1, cfgs, func(_ int, cfg core.Config) (any, error) {
+			return core.Run(cfg, jobs)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel fans the same 16 cells across all cores and
+// reports the speedup over an in-benchmark sequential pass.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfgs, jobs := sweepCells()
+	run := func(workers int) error {
+		_, err := par.Map(workers, cfgs, func(_ int, cfg core.Config) (any, error) {
+			return core.Run(cfg, jobs)
+		})
+		return err
+	}
+	seqStart := time.Now()
+	if err := run(1); err != nil {
+		b.Fatal(err)
+	}
+	seqTime := time.Since(seqStart)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parPerOp := float64(b.Elapsed()) / float64(b.N)
+	if parPerOp > 0 {
+		b.ReportMetric(float64(seqTime)/parPerOp, "speedup")
+	}
+}
 
 // Micro-benchmarks of the hot paths the figures exercise.
 

@@ -7,6 +7,13 @@
 //	gaia-exp -figure fig08            # one figure, quick scale
 //	gaia-exp -figure fig13 -full      # paper-scale (year, ~100k jobs)
 //	gaia-exp -all                     # every figure, quick scale
+//	gaia-exp -all -j 4                # at most 4 experiments in flight
+//
+// With -all, experiments run concurrently on a bounded worker pool
+// (sweeps inside each experiment additionally parallelize across cores);
+// output is printed in ID order and is byte-identical to a sequential
+// run. Per-experiment and total wall-clock times are reported so the
+// speedup is visible.
 package main
 
 import (
@@ -14,18 +21,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/carbonsched/gaia/internal/experiments"
+	"github.com/carbonsched/gaia/internal/par"
 )
 
 func main() {
 	var (
-		figure = flag.String("figure", "", "experiment id to run (e.g. fig08)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list available experiments")
-		full   = flag.Bool("full", false, "paper-scale runs (year-long traces) instead of quick")
-		outdir = flag.String("outdir", "", "also write each result to <outdir>/<id>.txt")
+		figure  = flag.String("figure", "", "experiment id to run (e.g. fig08)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list available experiments")
+		full    = flag.Bool("full", false, "paper-scale runs (year-long traces) instead of quick")
+		outdir  = flag.String("outdir", "", "also write each result to <outdir>/<id>.txt")
+		workers = flag.Int("j", runtime.NumCPU(), "max experiments in flight for -all (results stay deterministic)")
 	)
 	flag.Parse()
 
@@ -40,11 +50,9 @@ func main() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
 		}
 	case *all:
-		for _, e := range experiments.All() {
-			if err := runOne(e, scale, *outdir); err != nil {
-				fmt.Fprintf(os.Stderr, "gaia-exp: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
+		if err := runAll(scale, *workers, *outdir); err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+			os.Exit(1)
 		}
 	case *figure != "":
 		e, err := experiments.ByID(*figure)
@@ -62,14 +70,55 @@ func main() {
 	}
 }
 
+// runAll executes every experiment on a worker pool of the given size and
+// prints the results in ID order, each with its own wall-clock, followed
+// by the total wall-clock of the whole sweep.
+func runAll(scale experiments.Scale, workers int, outdir string) error {
+	exps := experiments.All()
+	type outcome struct {
+		out fmt.Stringer
+		dur time.Duration
+	}
+	start := time.Now()
+	outs, err := par.Map(workers, exps, func(_ int, e experiments.Experiment) (outcome, error) {
+		t0 := time.Now()
+		out, err := e.Run(scale)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return outcome{out, time.Since(t0)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	total := time.Since(start)
+
+	var cpuTime time.Duration
+	for i, e := range exps {
+		cpuTime += outs[i].dur
+		if err := emit(e, scale, outs[i].out, outs[i].dur, outdir); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	fmt.Printf("total: %d experiments in %v wall-clock (%v summed, -j %d)\n",
+		len(exps), total.Round(time.Millisecond), cpuTime.Round(time.Millisecond), par.Workers(workers))
+	return nil
+}
+
 func runOne(e experiments.Experiment, scale experiments.Scale, outdir string) error {
 	start := time.Now()
 	out, err := e.Run(scale)
 	if err != nil {
 		return err
 	}
+	return emit(e, scale, out, time.Since(start), outdir)
+}
+
+// emit prints one experiment's result and optionally writes its .txt (and
+// .tsv, when available) files under outdir.
+func emit(e experiments.Experiment, scale experiments.Scale, out fmt.Stringer, dur time.Duration, outdir string) error {
 	text := out.String()
-	fmt.Printf("== %s (%s scale, %v) ==\n%s\n", e.ID, scale, time.Since(start).Round(time.Millisecond), text)
+	fmt.Printf("== %s (%s scale, %v) ==\n%s\n", e.ID, scale, dur.Round(time.Millisecond), text)
 	if outdir != "" {
 		if err := os.MkdirAll(outdir, 0o755); err != nil {
 			return err

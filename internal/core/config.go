@@ -237,18 +237,19 @@ func (c Config) validate() error {
 }
 
 // policyContext builds the knowledge handed to policies: per-queue maximum
-// waits and historical average lengths computed from the trace.
+// waits and historical average lengths computed from the trace. Averages
+// are derived from the classification bounds directly so the shared trace
+// never needs its Queue fields rewritten.
 func (c Config) policyContext(jobs *workload.Trace) *policy.Context {
-	avg := func(q workload.Queue) simtime.Duration {
-		if v, ok := c.AvgLengthOverride[q]; ok {
-			return v
-		}
-		return jobs.MeanLengthByQueue(q)
-	}
+	means := jobs.MeanLengthsByBounds(c.queueBounds())
 	queues := make(map[workload.Queue]policy.QueueInfo, len(c.Queues))
 	for i, spec := range c.Queues {
 		q := workload.Queue(i)
-		queues[q] = policy.QueueInfo{MaxWait: spec.MaxWait, AvgLength: avg(q)}
+		avg := means[i]
+		if v, ok := c.AvgLengthOverride[q]; ok {
+			avg = v
+		}
+		queues[q] = policy.QueueInfo{MaxWait: spec.MaxWait, AvgLength: avg}
 	}
 	return &policy.Context{CIS: c.CIS, Queues: queues}
 }

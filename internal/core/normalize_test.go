@@ -1,0 +1,74 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// TestRunSharesNormalizedTrace pins the zero-copy fast path: a trace that
+// already satisfies NewTrace's invariants is scheduled as-is, without a
+// per-run copy.
+func TestRunSharesNormalizedTrace(t *testing.T) {
+	jobs := workload.MustTrace("sorted", []workload.Job{
+		{Arrival: 0, Length: simtime.Hour, CPUs: 1},
+		{Arrival: simtime.Time(simtime.Hour), Length: 2 * simtime.Hour, CPUs: 2},
+	})
+	if got := normalizedTrace(jobs); got != jobs {
+		t.Error("normalized trace was copied, want shared")
+	}
+}
+
+// TestRunNormalizesUnsortedTrace covers the slow path: a hand-built trace
+// with out-of-order arrivals and unset IDs must produce the same result as
+// its explicitly normalized form, and must not be mutated by Run.
+func TestRunNormalizesUnsortedTrace(t *testing.T) {
+	raw := []workload.Job{
+		{Arrival: simtime.Time(5 * simtime.Hour), Length: simtime.Hour, CPUs: 1},
+		{Arrival: 0, Length: 3 * simtime.Hour, CPUs: 2},
+		{Arrival: simtime.Time(2 * simtime.Hour), Length: 30 * simtime.Minute, CPUs: 1},
+	}
+	unsorted := &workload.Trace{Name: "raw", Jobs: append([]workload.Job(nil), raw...)}
+	if got := normalizedTrace(unsorted); got == unsorted {
+		t.Fatal("unsorted trace should be copied, not shared")
+	}
+
+	tr := flatTrace(48, 100)
+	got, err := Run(baseConfig(tr, policy.CarbonTime{}), unsorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(baseConfig(tr, policy.CarbonTime{}), workload.MustTrace("raw", raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+		t.Errorf("unsorted input diverged from normalized input:\ngot  %+v\nwant %+v", got.Jobs, want.Jobs)
+	}
+	// Run must never write to the caller's trace.
+	for i, j := range unsorted.Jobs {
+		if j != raw[i] {
+			t.Errorf("job %d mutated by Run: %+v, was %+v", i, j, raw[i])
+		}
+	}
+}
+
+// TestRunDoesNotMutateSharedTrace asserts the share-immutable contract
+// directly: queue classification happens on per-event copies, so the
+// shared trace's Queue fields stay untouched across a Run.
+func TestRunDoesNotMutateSharedTrace(t *testing.T) {
+	jobs := workload.MustTrace("shared", []workload.Job{
+		{Arrival: 0, Length: simtime.Hour, CPUs: 1},
+		{Arrival: simtime.Time(simtime.Hour), Length: 40 * simtime.Hour, CPUs: 2},
+	})
+	before := append([]workload.Job(nil), jobs.Jobs...)
+	if _, err := Run(baseConfig(flatTrace(100, 100), policy.CarbonTime{}), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs.Jobs, before) {
+		t.Errorf("shared trace mutated:\nafter  %+v\nbefore %+v", jobs.Jobs, before)
+	}
+}

@@ -14,8 +14,10 @@ import (
 )
 
 // Run simulates the configured GAIA cluster over the workload trace and
-// returns per-job and cluster-level accounting. The input trace is not
-// modified. Runs are deterministic for a given (Config, trace).
+// returns per-job and cluster-level accounting. The input trace is never
+// modified: an already-normalized trace (the output of workload.NewTrace)
+// is shared as-is, so many concurrent Runs over the same trace cost no
+// per-run copies. Runs are deterministic for a given (Config, trace).
 func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -29,8 +31,8 @@ func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 		}
 	}()
 
-	trace := workload.MustTrace(jobs.Name, jobs.Jobs) // defensive copy
-	trace.ClassifyQueues(cfg.queueBounds())
+	trace := normalizedTrace(jobs)
+	bounds := cfg.queueBounds()
 
 	pool, err := cloud.NewReservedPool(cfg.Reserved)
 	if err != nil {
@@ -49,6 +51,9 @@ func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 	}
 	for _, job := range trace.Jobs {
 		job := job
+		// Queue classification happens on the per-event copy of the job,
+		// never on the (shared, immutable) trace.
+		job.Queue = workload.ClassifyLength(job.Length, bounds)
 		s.engine.Schedule(job.Arrival, sim.PriorityArrival, func() { s.arrive(job) })
 	}
 	s.engine.Run()
@@ -63,6 +68,20 @@ func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 		Pricing:  cfg.Pricing,
 		Jobs:     s.results,
 	}, nil
+}
+
+// normalizedTrace returns jobs itself when it already satisfies the
+// invariants workload.NewTrace establishes — sorted by arrival, IDs
+// numbered in order, every job valid — and a normalizing copy otherwise.
+// The fast path is what makes a 30-cell sweep share one immutable trace
+// instead of deep-copying it 30 times.
+func normalizedTrace(jobs *workload.Trace) *workload.Trace {
+	for i, j := range jobs.Jobs {
+		if j.ID != i || (i > 0 && jobs.Jobs[i-1].Arrival > j.Arrival) || j.Validate() != nil {
+			return workload.MustTrace(jobs.Name, jobs.Jobs)
+		}
+	}
+	return jobs
 }
 
 // scheduler is the run-scoped state machine driven by the event engine.

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// TestSweepDeterminism asserts the contract of the parallel sweep engine:
+// a figure rendered with N workers is byte-identical to the sequential
+// render, for any N. The sample covers the sweep shapes — a policy sweep
+// (fig08), a baseline-plus-grid sweep (fig11), and a slack sweep (fig12).
+func TestSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-scale sweeps several times")
+	}
+	defer SetParallelism(0)
+	ids := []string{"fig08", "fig11", "fig12"}
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetParallelism(1)
+		out, err := e.Run(Quick)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		want := out.String()
+		for _, workers := range []int{2, 8} {
+			SetParallelism(workers)
+			out, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s at %d workers: %v", id, workers, err)
+			}
+			if got := out.String(); got != want {
+				t.Errorf("%s at %d workers differs from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					id, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelismKnob covers the SetParallelism/Parallelism pair.
+func TestParallelismKnob(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Errorf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got != 0 {
+		t.Errorf("Parallelism() = %d, want 0 (auto)", got)
+	}
+	SetParallelism(-4)
+	if got := Parallelism(); got != 0 {
+		t.Errorf("Parallelism(-4) = %d, want 0 (auto)", got)
+	}
+}

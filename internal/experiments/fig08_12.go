@@ -6,7 +6,6 @@ import (
 
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/core"
-	"github.com/carbonsched/gaia/internal/metrics"
 	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/simtime"
 )
@@ -78,14 +77,16 @@ func runFig08(Scale) (fmt.Stringer, error) {
 		policy.NoWait{}, policy.LowestSlot{}, policy.LowestWindow{},
 		policy.CarbonTime{}, policy.Ecovisor{}, policy.WaitAwhile{},
 	}
-	results := make([]*metrics.Result, 0, len(policies))
-	var maxCarbon, maxWait float64
+	cells := make([]cell, 0, len(policies))
 	for _, p := range policies {
-		res, err := core.Run(weekConfig(p, tr), jobs)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
+		cells = append(cells, cell{weekConfig(p, tr), jobs})
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var maxCarbon, maxWait float64
+	for _, res := range results {
 		maxCarbon = math.Max(maxCarbon, res.TotalCarbon())
 		maxWait = math.Max(maxWait, res.MeanWaiting().Hours())
 	}
@@ -146,16 +147,13 @@ func runFig10(Scale) (fmt.Stringer, error) {
 	jobs := prototypeWeek()
 	rHalf, _ := weekReserved()
 
-	type entry struct {
-		cfg core.Config
-	}
-	mk := func(p policy.Policy, workConserving bool) entry {
+	mk := func(p policy.Policy, workConserving bool) cell {
 		cfg := weekConfig(p, tr)
 		cfg.Reserved = rHalf
 		cfg.WorkConserving = workConserving
-		return entry{cfg}
+		return cell{cfg, jobs}
 	}
-	entries := []entry{
+	cells := []cell{
 		mk(policy.NoWait{}, false),
 		mk(policy.AllWait{}, true),
 		mk(policy.WaitAwhile{}, false),
@@ -163,14 +161,12 @@ func runFig10(Scale) (fmt.Stringer, error) {
 		mk(policy.CarbonTime{}, false),
 		mk(policy.CarbonTime{}, true), // RES-First-Carbon-Time
 	}
-	var results []*metrics.Result
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var maxCarbon, maxCost, maxWait float64
-	for _, e := range entries {
-		res, err := core.Run(e.cfg, jobs)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
+	for _, res := range results {
 		maxCarbon = math.Max(maxCarbon, res.TotalCarbon())
 		maxCost = math.Max(maxCost, res.TotalCost())
 		maxWait = math.Max(maxWait, res.MeanWaiting().Hours())
@@ -199,24 +195,28 @@ func runFig11(Scale) (fmt.Stringer, error) {
 		return nil, err
 	}
 	jobs := prototypeWeek()
-	base, err := core.Run(weekConfig(policy.NoWait{}, tr), jobs)
-	if err != nil {
-		return nil, err
-	}
 	demand := jobs.MeanDemand(simtime.Week)
-	t := NewTable("Figure 11 — reserved sweep, RES-First-Carbon-Time vs NoWait(R=0) (SA-AU)",
-		"reserved", "carbon(norm)", "cost(norm)", "wait(h)", "resUtil")
+	// Cell 0 is the NoWait baseline; the rest sweep reserved capacity.
+	cells := []cell{{weekConfig(policy.NoWait{}, tr), jobs}}
+	var sizes []int
 	for frac := 0.0; frac <= 1.51; frac += 0.125 {
 		r := int(math.Round(frac * demand))
 		cfg := weekConfig(policy.CarbonTime{}, tr)
 		cfg.Reserved = r
 		cfg.WorkConserving = true
-		res, err := core.Run(cfg, jobs)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{cfg, jobs})
+		sizes = append(sizes, r)
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	t := NewTable("Figure 11 — reserved sweep, RES-First-Carbon-Time vs NoWait(R=0) (SA-AU)",
+		"reserved", "carbon(norm)", "cost(norm)", "wait(h)", "resUtil")
+	for i, res := range results[1:] {
 		rel := res.CompareTo(base)
-		t.AddRowf(r, rel.Carbon, rel.Cost, res.MeanWaiting().Hours(), res.ReservedUtilization())
+		t.AddRowf(sizes[i], rel.Carbon, rel.Cost, res.MeanWaiting().Hours(), res.ReservedUtilization())
 	}
 	t.Caption = fmt.Sprintf("mean demand = %.1f CPUs; paper shape: cost valley near mean demand, carbon rises and waiting falls with R", demand)
 	return t, nil
@@ -233,11 +233,7 @@ func runFig12(Scale) (fmt.Stringer, error) {
 	jobs := prototypeWeek()
 	rHalf, rThird := weekReserved()
 
-	type entry struct {
-		label string
-		cfg   core.Config
-	}
-	var entries []entry
+	var cells []cell
 	add := func(label string, p policy.Policy, reserved int, spot bool, workConserving bool) {
 		cfg := weekConfig(p, tr)
 		cfg.Reserved = reserved
@@ -246,7 +242,7 @@ func runFig12(Scale) (fmt.Stringer, error) {
 			cfg.SpotMaxLen = 2 * simtime.Hour
 		}
 		cfg.Label = fmt.Sprintf("%s(R=%d)", label, reserved)
-		entries = append(entries, entry{label, cfg})
+		cells = append(cells, cell{cfg, jobs})
 	}
 	add("Carbon-Time", policy.CarbonTime{}, 0, false, false)
 	add("Spot-First-Carbon-Time", policy.CarbonTime{}, 0, true, false)
@@ -254,14 +250,12 @@ func runFig12(Scale) (fmt.Stringer, error) {
 	add("Spot-RES-Carbon-Time", policy.CarbonTime{}, rHalf, true, true)
 	add("Spot-RES-Carbon-Time", policy.CarbonTime{}, rThird, true, true)
 
-	var results []*metrics.Result
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	var maxCarbon, maxCost, maxWait float64
-	for _, e := range entries {
-		res, err := core.Run(e.cfg, jobs)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
+	for _, res := range results {
 		maxCarbon = math.Max(maxCarbon, res.TotalCarbon())
 		maxCost = math.Max(maxCost, res.TotalCost())
 		maxWait = math.Max(maxWait, res.MeanWaiting().Hours())

@@ -62,22 +62,27 @@ func runFig13(scale Scale) (fmt.Stringer, error) {
 	policies := []policy.Policy{
 		policy.LowestWindow{}, policy.CarbonTime{}, policy.Ecovisor{}, policy.WaitAwhile{},
 	}
-	t := NewTable("Figure 13 — normalized carbon (vs NoWait) and waiting (vs worst) in CA-US",
-		"trace", "policy", "carbon(norm)", "waiting(norm)", "wait(h)", "savingRetained")
+	// Per family: one NoWait baseline cell followed by the four policies.
+	stride := 1 + len(policies)
+	var cells []cell
 	for _, fam := range figFamilies {
 		jobs := yearTrace(fam, scale)
-		base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-		if err != nil {
-			return nil, err
-		}
-		results := make([]*metrics.Result, 0, len(policies))
-		var maxWait float64
+		cells = append(cells, cell{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
 		for _, p := range policies {
-			res, err := core.Run(core.Config{Policy: p, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, res)
+			cells = append(cells, cell{core.Config{Policy: p, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
+		}
+	}
+	all, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Figure 13 — normalized carbon (vs NoWait) and waiting (vs worst) in CA-US",
+		"trace", "policy", "carbon(norm)", "waiting(norm)", "wait(h)", "savingRetained")
+	for fi, fam := range figFamilies {
+		group := all[fi*stride : (fi+1)*stride]
+		base, results := group[0], group[1:]
+		var maxWait float64
+		for _, res := range results {
 			maxWait = math.Max(maxWait, res.MeanWaiting().Hours())
 		}
 		// WaitAwhile's saving is the reference for "savings retained".
@@ -103,60 +108,67 @@ func runFig13(scale Scale) (fmt.Stringer, error) {
 func runFig14(scale Scale) (fmt.Stringer, error) {
 	carbonTr := regionTrace("SA-AU")
 	jobs := yearTrace("alibaba", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
-	run := func(p policy.Policy, wShort, wLong simtime.Duration) (perHour float64, savingPct float64, err error) {
-		asCfg := func(w simtime.Duration) simtime.Duration {
-			if w == 0 {
-				return -1 // explicit zero (0 would select the default)
-			}
-			return w
+	asCfg := func(w simtime.Duration) simtime.Duration {
+		if w == 0 {
+			return -1 // explicit zero (0 would select the default)
 		}
-		res, err := core.Run(core.Config{
+		return w
+	}
+	mk := func(p policy.Policy, wShort, wLong simtime.Duration) cell {
+		return cell{core.Config{
 			Policy:    p,
 			Carbon:    carbonTr,
 			Horizon:   horizon(scale),
 			WaitShort: asCfg(wShort),
 			WaitLong:  asCfg(wLong),
-		}, jobs)
-		if err != nil {
-			return 0, 0, err
-		}
+		}, jobs}
+	}
+
+	// Cell 0 is the NoWait baseline; each sweep point contributes a
+	// Lowest-Window and a Carbon-Time cell.
+	shortWs := []int{0, 3, 6, 9, 12, 18, 24}
+	longWs := []int{0, 12, 24, 36, 48, 60, 72, 84}
+	cells := []cell{{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs}}
+	for _, w := range shortWs {
+		cells = append(cells,
+			mk(policy.LowestWindow{}, simtime.Duration(w)*simtime.Hour, 24*simtime.Hour),
+			mk(policy.CarbonTime{}, simtime.Duration(w)*simtime.Hour, 24*simtime.Hour))
+	}
+	for _, w := range longWs {
+		cells = append(cells,
+			mk(policy.LowestWindow{}, 6*simtime.Hour, simtime.Duration(w)*simtime.Hour),
+			mk(policy.CarbonTime{}, 6*simtime.Hour, simtime.Duration(w)*simtime.Hour))
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	perHour := func(res *metrics.Result) (gPerHour, savingPct float64) {
 		savedG := base.TotalCarbon() - res.TotalCarbon()
 		var waitingHours float64
 		for _, j := range res.Jobs {
 			waitingHours += j.Waiting.Hours()
 		}
-		return safeDiv(savedG, waitingHours), 100 * (1 - res.TotalCarbon()/base.TotalCarbon()), nil
+		return safeDiv(savedG, waitingHours), 100 * (1 - res.TotalCarbon()/base.TotalCarbon())
 	}
 
+	idx := 1
 	shortSweep := NewTable("Figure 14a — saved carbon per waiting hour vs W_short (W_long = 24h)",
 		"W_short(h)", "Lowest-Window g/h", "Carbon-Time g/h", "LW saving%", "CT saving%")
-	for _, w := range []int{0, 3, 6, 9, 12, 18, 24} {
-		lw, lwPct, err := run(policy.LowestWindow{}, simtime.Duration(w)*simtime.Hour, 24*simtime.Hour)
-		if err != nil {
-			return nil, err
-		}
-		ct, ctPct, err := run(policy.CarbonTime{}, simtime.Duration(w)*simtime.Hour, 24*simtime.Hour)
-		if err != nil {
-			return nil, err
-		}
+	for _, w := range shortWs {
+		lw, lwPct := perHour(results[idx])
+		ct, ctPct := perHour(results[idx+1])
+		idx += 2
 		shortSweep.AddRowf(w, lw, ct, lwPct, ctPct)
 	}
 
 	longSweep := NewTable("Figure 14b — saved carbon per waiting hour vs W_long (W_short = 6h)",
 		"W_long(h)", "Lowest-Window g/h", "Carbon-Time g/h", "LW saving%", "CT saving%")
-	for _, w := range []int{0, 12, 24, 36, 48, 60, 72, 84} {
-		lw, lwPct, err := run(policy.LowestWindow{}, 6*simtime.Hour, simtime.Duration(w)*simtime.Hour)
-		if err != nil {
-			return nil, err
-		}
-		ct, ctPct, err := run(policy.CarbonTime{}, 6*simtime.Hour, simtime.Duration(w)*simtime.Hour)
-		if err != nil {
-			return nil, err
-		}
+	for _, w := range longWs {
+		lw, lwPct := perHour(results[idx])
+		ct, ctPct := perHour(results[idx+1])
+		idx += 2
 		longSweep.AddRowf(w, lw, ct, lwPct, ctPct)
 	}
 	longSweep.Caption = "paper shape: Carbon-Time ≥ Lowest-Window per waiting hour; diminishing returns beyond ≈12h for long jobs"
@@ -167,21 +179,29 @@ func runFig14(scale Scale) (fmt.Stringer, error) {
 // the five evaluation regions and three workloads. Paper: SA-AU saves the
 // most (≈27.5 %), KY-US almost nothing (≈1 %).
 func runFig15(scale Scale) (fmt.Stringer, error) {
-	t := NewTable("Figure 15 — normalized carbon vs NoWait (Carbon-Time policy)",
-		"region", "mustang", "alibaba", "azure")
+	// One (NoWait, Carbon-Time) cell pair per region × family.
+	var cells []cell
 	for _, region := range evaluationRegions() {
 		carbonTr := regionTrace(region)
-		row := []any{region}
 		for _, fam := range figFamilies {
 			jobs := yearTrace(fam, scale)
-			base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.Run(core.Config{Policy: policy.CarbonTime{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				cell{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs},
+				cell{core.Config{Policy: policy.CarbonTime{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Figure 15 — normalized carbon vs NoWait (Carbon-Time policy)",
+		"region", "mustang", "alibaba", "azure")
+	idx := 0
+	for _, region := range evaluationRegions() {
+		row := []any{region}
+		for range figFamilies {
+			base, res := results[idx], results[idx+1]
+			idx += 2
 			row = append(row, res.TotalCarbon()/base.TotalCarbon())
 		}
 		t.AddRowf(row...)
@@ -195,18 +215,21 @@ func runFig15(scale Scale) (fmt.Stringer, error) {
 // the region's absolute CI, not just its variability.
 func runFig16(scale Scale) (fmt.Stringer, error) {
 	jobs := yearTrace("alibaba", scale)
-	t := NewTable("Figure 16 — Alibaba trace: normalized carbon and total savings (Carbon-Time)",
-		"region", "carbon(norm)", "saved(kg)", "total(kg)")
+	var cells []cell
 	for _, region := range evaluationRegions() {
 		carbonTr := regionTrace(region)
-		base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Run(core.Config{Policy: policy.CarbonTime{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			cell{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs},
+			cell{core.Config{Policy: policy.CarbonTime{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Figure 16 — Alibaba trace: normalized carbon and total savings (Carbon-Time)",
+		"region", "carbon(norm)", "saved(kg)", "total(kg)")
+	for i, region := range evaluationRegions() {
+		base, res := results[2*i], results[2*i+1]
 		t.AddRowf(region,
 			res.TotalCarbon()/base.TotalCarbon(),
 			base.TotalCarbonKg()-res.TotalCarbonKg(),
@@ -224,40 +247,46 @@ func runFig16(scale Scale) (fmt.Stringer, error) {
 // carbon but less cost.
 func runFig17(scale Scale) (fmt.Stringer, error) {
 	carbonTr := regionTrace("SA-AU")
-	t := NewTable("Figure 17 — policies with R = mean demand (SA-AU)",
-		"trace", "R", "policy", "carbon(norm)", "cost(norm)", "resUtil")
-	for _, fam := range figFamilies {
+	type entry struct {
+		p  policy.Policy
+		wc bool
+	}
+	entries := []entry{
+		{policy.AllWait{}, true},
+		{policy.Ecovisor{}, false},
+		{policy.CarbonTime{}, false},
+		{policy.CarbonTime{}, true}, // RES-First
+	}
+	var cells []cell
+	rs := make([]int, len(figFamilies))
+	for fi, fam := range figFamilies {
 		jobs := yearTrace(fam, scale)
-		r := int(math.Round(meanDemand(fam, scale)))
-		type entry struct {
-			p  policy.Policy
-			wc bool
-		}
-		entries := []entry{
-			{policy.AllWait{}, true},
-			{policy.Ecovisor{}, false},
-			{policy.CarbonTime{}, false},
-			{policy.CarbonTime{}, true}, // RES-First
-		}
-		var results []*metrics.Result
-		var maxCarbon, maxCost float64
+		rs[fi] = int(math.Round(meanDemand(fam, scale)))
 		for _, e := range entries {
-			res, err := core.Run(core.Config{
+			cells = append(cells, cell{core.Config{
 				Policy:         e.p,
 				Carbon:         carbonTr,
 				Horizon:        horizon(scale),
-				Reserved:       r,
+				Reserved:       rs[fi],
 				WorkConserving: e.wc,
-			}, jobs)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, res)
+			}, jobs})
+		}
+	}
+	all, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable("Figure 17 — policies with R = mean demand (SA-AU)",
+		"trace", "R", "policy", "carbon(norm)", "cost(norm)", "resUtil")
+	for fi, fam := range figFamilies {
+		results := all[fi*len(entries) : (fi+1)*len(entries)]
+		var maxCarbon, maxCost float64
+		for _, res := range results {
 			maxCarbon = math.Max(maxCarbon, res.TotalCarbon())
 			maxCost = math.Max(maxCost, res.TotalCost())
 		}
 		for _, res := range results {
-			t.AddRowf(fam, r, res.Label,
+			t.AddRowf(fam, rs[fi], res.Label,
 				res.TotalCarbon()/maxCarbon,
 				res.TotalCost()/maxCost,
 				res.ReservedUtilization())
@@ -275,25 +304,34 @@ func runFig17(scale Scale) (fmt.Stringer, error) {
 func runFig18(scale Scale) (fmt.Stringer, error) {
 	carbonTr := regionTrace("SA-AU")
 	jobs := yearTrace("azure", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
-	t := NewTable("Figure 18 — Spot-First-Carbon-Time vs NoWait(on-demand), Azure trace (SA-AU)",
-		"evict%", "Jmax(h)", "carbon(norm)", "cost(norm)", "evictions")
-	for _, evict := range []float64{0, 0.05, 0.10, 0.15} {
-		for _, jmax := range []int{2, 6, 12, 18, 24} {
-			res, err := core.Run(core.Config{
+	evicts := []float64{0, 0.05, 0.10, 0.15}
+	jmaxes := []int{2, 6, 12, 18, 24}
+	// Cell 0 is the NoWait baseline; the rest sweep (eviction, Jmax).
+	cells := []cell{{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs}}
+	for _, evict := range evicts {
+		for _, jmax := range jmaxes {
+			cells = append(cells, cell{core.Config{
 				Policy:       policy.CarbonTime{},
 				Carbon:       carbonTr,
 				Horizon:      horizon(scale),
 				SpotMaxLen:   simtime.Duration(jmax) * simtime.Hour,
 				EvictionRate: evict,
 				Seed:         seedEviction,
-			}, jobs)
-			if err != nil {
-				return nil, err
-			}
+			}, jobs})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	t := NewTable("Figure 18 — Spot-First-Carbon-Time vs NoWait(on-demand), Azure trace (SA-AU)",
+		"evict%", "Jmax(h)", "carbon(norm)", "cost(norm)", "evictions")
+	idx := 1
+	for _, evict := range evicts {
+		for _, jmax := range jmaxes {
+			res := results[idx]
+			idx++
 			rel := res.CompareTo(base)
 			t.AddRowf(100*evict, jmax, rel.Carbon, rel.Cost, res.TotalEvictions())
 		}
@@ -310,13 +348,11 @@ func runFig18(scale Scale) (fmt.Stringer, error) {
 func runFig19(scale Scale) (fmt.Stringer, error) {
 	carbonTr := regionTrace("SA-AU")
 	jobs := yearTrace("azure", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
 	demand := meanDemand("azure", scale)
-	t := NewTable("Figure 19 — Spot-RES-Carbon-Time, 10% eviction, Azure trace (SA-AU)",
-		"Jmax(h)", "reserved", "carbon(norm)", "cost(norm)")
+	// Cell 0 is the NoWait baseline; the rest sweep (Jmax, reserved).
+	cells := []cell{{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs}}
+	type point struct{ jmax, r int }
+	var points []point
 	for _, jmax := range []int{0, 2, 6, 12} {
 		for frac := 0.0; frac <= 1.21; frac += 0.2 {
 			r := int(math.Round(frac * demand))
@@ -332,13 +368,20 @@ func runFig19(scale Scale) (fmt.Stringer, error) {
 			if jmax > 0 {
 				cfg.SpotMaxLen = simtime.Duration(jmax) * simtime.Hour
 			}
-			res, err := core.Run(cfg, jobs)
-			if err != nil {
-				return nil, err
-			}
-			rel := res.CompareTo(base)
-			t.AddRowf(jmax, r, rel.Carbon, rel.Cost)
+			cells = append(cells, cell{cfg, jobs})
+			points = append(points, point{jmax, r})
 		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	t := NewTable("Figure 19 — Spot-RES-Carbon-Time, 10% eviction, Azure trace (SA-AU)",
+		"Jmax(h)", "reserved", "carbon(norm)", "cost(norm)")
+	for i, res := range results[1:] {
+		rel := res.CompareTo(base)
+		t.AddRowf(points[i].jmax, points[i].r, rel.Carbon, rel.Cost)
 	}
 	t.Caption = fmt.Sprintf("mean demand = %.0f CPUs; paper shape: cost valleys below mean demand; larger Jmax shifts the valley down and keeps more carbon savings", demand)
 	return t, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/viz"
 )
@@ -51,12 +52,20 @@ func runFig20(Scale) (fmt.Stringer, error) {
 		}
 		return d
 	}
+	// Scan all days' carbon-vs-price minima gaps in parallel, then pick
+	// the first qualifying days in order (identical to a sequential scan).
+	gaps, err := par.MapN(Parallelism(), 364, func(d int) (int, error) {
+		return dayGap(d), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	alignedDay, conflictDay := -1, -1
-	for d := 0; d < 364; d++ {
-		if dayGap(d) <= 2 && alignedDay < 0 {
+	for d, gap := range gaps {
+		if gap <= 2 && alignedDay < 0 {
 			alignedDay = d
 		}
-		if dayGap(d) >= 8 && conflictDay < 0 {
+		if gap >= 8 && conflictDay < 0 {
 			conflictDay = d
 		}
 		if alignedDay >= 0 && conflictDay >= 0 {

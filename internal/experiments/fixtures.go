@@ -26,14 +26,6 @@ func horizon(s Scale) simtime.Duration {
 	return 60 * simtime.Day
 }
 
-// jobCount scales the paper's 100k-job year traces to the horizon.
-func jobCount(s Scale) int {
-	if s == Full {
-		return 100000
-	}
-	return 100000 * 60 / 365
-}
-
 var (
 	regionOnce   sync.Once
 	regionTraces map[string]*carbon.Trace

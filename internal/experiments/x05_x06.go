@@ -30,15 +30,13 @@ func init() {
 func runX05Checkpoint(scale Scale) (fmt.Stringer, error) {
 	carbonTr := regionTrace("SA-AU")
 	jobs := yearTrace("azure", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
-	t := NewTable("Extension x05 — checkpointed Spot-First-Carbon-Time (Azure, SA-AU, Jmax=12h, ckpt overhead 3min)",
-		"evict%", "ckpt interval", "carbon(norm)", "cost(norm)", "wasted CPU·h", "evictions")
-	for _, evict := range []float64{0.05, 0.10, 0.15} {
-		for _, interval := range []simtime.Duration{0, 30 * simtime.Minute, simtime.Hour, 2 * simtime.Hour, 6 * simtime.Hour} {
-			cfg := core.Config{
+	evicts := []float64{0.05, 0.10, 0.15}
+	intervals := []simtime.Duration{0, 30 * simtime.Minute, simtime.Hour, 2 * simtime.Hour, 6 * simtime.Hour}
+	// Cell 0 is the NoWait baseline; the rest sweep (eviction, interval).
+	cells := []cell{{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs}}
+	for _, evict := range evicts {
+		for _, interval := range intervals {
+			cells = append(cells, cell{core.Config{
 				Policy:             policy.CarbonTime{},
 				Carbon:             carbonTr,
 				Horizon:            horizon(scale),
@@ -47,11 +45,21 @@ func runX05Checkpoint(scale Scale) (fmt.Stringer, error) {
 				Seed:               seedEviction,
 				CheckpointInterval: interval,
 				CheckpointOverhead: 3 * simtime.Minute,
-			}
-			res, err := core.Run(cfg, jobs)
-			if err != nil {
-				return nil, err
-			}
+			}, jobs})
+		}
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	t := NewTable("Extension x05 — checkpointed Spot-First-Carbon-Time (Azure, SA-AU, Jmax=12h, ckpt overhead 3min)",
+		"evict%", "ckpt interval", "carbon(norm)", "cost(norm)", "wasted CPU·h", "evictions")
+	idx := 1
+	for _, evict := range evicts {
+		for _, interval := range intervals {
+			res := results[idx]
+			idx++
 			rel := res.CompareTo(base)
 			var wasted float64
 			for _, j := range res.Jobs {
@@ -77,6 +85,16 @@ func runX06Spatial(scale Scale) (fmt.Stringer, error) {
 	t := NewTable("Extension x06 — temporal-only vs spatial+temporal (Alibaba, Carbon-Time)",
 		"deployment", "carbon(kg)", "vs dirtiest", "wait(h)")
 	var regions []*carbon.Trace
+	var cells []cell
+	for _, code := range evaluationRegions() {
+		tr := regionTrace(code)
+		regions = append(regions, tr)
+		cells = append(cells, cell{core.Config{Policy: policy.CarbonTime{}, Carbon: tr, Horizon: horizon(scale)}, jobs})
+	}
+	results, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	worst := 0.0
 	type row struct {
 		name string
@@ -84,13 +102,8 @@ func runX06Spatial(scale Scale) (fmt.Stringer, error) {
 		wait float64
 	}
 	var rows []row
-	for _, code := range evaluationRegions() {
-		tr := regionTrace(code)
-		regions = append(regions, tr)
-		res, err := core.Run(core.Config{Policy: policy.CarbonTime{}, Carbon: tr, Horizon: horizon(scale)}, jobs)
-		if err != nil {
-			return nil, err
-		}
+	for i, code := range evaluationRegions() {
+		res := results[i]
 		rows = append(rows, row{code + " only", res.TotalCarbonKg(), res.MeanWaiting().Hours()})
 		if res.TotalCarbonKg() > worst {
 			worst = res.TotalCarbonKg()

@@ -5,6 +5,8 @@ import (
 
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/simtime"
 )
@@ -33,16 +35,6 @@ func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
 	ci, price := carbon.DefaultERCOTModel().Generate(hours+7*24, seedCarbon+100)
 	jobs := yearTrace("alibaba", scale)
 
-	// Baselines on the Texas grid: carbon-agnostic and carbon-optimal.
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: ci, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
-	carbonOpt, err := core.Run(core.Config{Policy: policy.LowestWindow{}, Carbon: ci, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
-
 	// billFor measures the energy bill of a schedule by re-running the
 	// identical decisions with the price series as the "carbon" trace:
 	// the resulting "emissions" are ∫ price × power dt, i.e. dollars
@@ -57,16 +49,26 @@ func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
 	}
 	priceTrace := carbon.MustTrace("TX-price", priceVals)
 
-	t := NewTable("Extension x07 — cost-only scheduling under a carbon tax (Alibaba, ERCOT-like grid)",
-		"tax $/tonne", "carbon(norm)", "share of carbon-opt savings", "bill(norm)")
-	baseBill, err := core.Run(core.Config{
-		Policy: policy.NoWait{}, Carbon: priceTrace, Horizon: horizon(scale),
-	}, jobs)
+	// Baselines on the Texas grid (carbon-agnostic, carbon-optimal, and
+	// the carbon-agnostic energy bill) run as one parallel batch.
+	baselines, err := runCells([]cell{
+		{core.Config{Policy: policy.NoWait{}, Carbon: ci, Horizon: horizon(scale)}, jobs},
+		{core.Config{Policy: policy.LowestWindow{}, Carbon: ci, Horizon: horizon(scale)}, jobs},
+		{core.Config{Policy: policy.NoWait{}, Carbon: priceTrace, Horizon: horizon(scale)}, jobs},
+	})
 	if err != nil {
 		return nil, err
 	}
-	optSaving := 1 - carbonOpt.TotalCarbon()/base.TotalCarbon()
-	for _, tax := range []float64{0, 50, 100, 200, 500, 2000} {
+	base, carbonOpt, baseBill := baselines[0], baselines[1], baselines[2]
+
+	// Each tax level is an independent cell: build its tariff, schedule
+	// against it, then re-run the identical schedule against the price
+	// trace to measure the bill.
+	type taxRun struct {
+		res, bill *metrics.Result
+	}
+	taxes := []float64{0, 50, 100, 200, 500, 2000}
+	runs, err := par.Map(Parallelism(), taxes, func(_ int, tax float64) (taxRun, error) {
 		// Combined tariff in $/kWh: price/1000 ($/MWh→$/kWh) plus
 		// tax ($/tonne) × CI (g/kWh) / 1e6 (g→tonne).
 		tariff := make([]float64, hours)
@@ -83,15 +85,26 @@ func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
 		}
 		res, err := core.Run(cfg, jobs)
 		if err != nil {
-			return nil, err
+			return taxRun{}, err
 		}
 		// Energy bill of the same schedule.
 		billCfg := cfg
 		billCfg.Carbon = priceTrace
 		bill, err := core.Run(billCfg, jobs)
 		if err != nil {
-			return nil, err
+			return taxRun{}, err
 		}
+		return taxRun{res, bill}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := NewTable("Extension x07 — cost-only scheduling under a carbon tax (Alibaba, ERCOT-like grid)",
+		"tax $/tonne", "carbon(norm)", "share of carbon-opt savings", "bill(norm)")
+	optSaving := 1 - carbonOpt.TotalCarbon()/base.TotalCarbon()
+	for i, tax := range taxes {
+		res, bill := runs[i].res, runs[i].bill
 		saving := 1 - res.TotalCarbon()/base.TotalCarbon()
 		t.AddRowf(tax,
 			res.TotalCarbon()/base.TotalCarbon(),

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/scaling"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/stats"
@@ -50,55 +51,72 @@ func runX08Scaling(scale Scale) (fmt.Stringer, error) {
 	type agg struct {
 		carbonG, cpuH, complH float64
 	}
-	results := map[string]*agg{}
-	add := func(name string, plan scaling.Plan, job scaling.ElasticJob) {
-		a := results[name]
-		if a == nil {
-			a = &agg{}
-			results[name] = a
-		}
-		a.carbonG += plan.Carbon(tr, kw)
-		a.cpuH += plan.CPUHours()
-		a.complH += plan.Completion(job.Arrival).Sub(job.Arrival).Hours()
+	modalities := []string{
+		"static-1 (NoWait)", "temporal shift (k=1)", "suspend-resume (k=1)", "carbon-scaler (k≤8)",
 	}
 
-	for _, job := range jobs {
+	// Each job's four plans (serial, shifted, suspend-resume, scaled) are
+	// computed in parallel; per-modality sums are then accumulated in job
+	// order so totals match the sequential loop bit for bit.
+	measure := func(plan scaling.Plan, job scaling.ElasticJob) agg {
+		return agg{
+			carbonG: plan.Carbon(tr, kw),
+			cpuH:    plan.CPUHours(),
+			complH:  plan.Completion(job.Arrival).Sub(job.Arrival).Hours(),
+		}
+	}
+	perJob, err := par.Map(Parallelism(), jobs, func(_ int, job scaling.ElasticJob) ([4]agg, error) {
+		var out [4]agg
 		job.Deadline = simtime.HoursDur(job.Work) + 48*simtime.Hour
 		serial, err := scaling.StaticPlan(job, 1)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		add("static-1 (NoWait)", serial, job)
+		out[0] = measure(serial, job)
 
 		// Temporal shifting of the serial run: best contiguous start.
 		shifted, err := bestShiftedSerial(job, cis, tr)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		add("temporal shift (k=1)", shifted, job)
+		out[1] = measure(shifted, job)
 
 		// Suspend-resume at unit width = scaling capped at 1.
 		narrow := job
 		narrow.MaxParallel = 1
 		sr, err := scaling.PlanJob(narrow, cis)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		add("suspend-resume (k=1)", sr, job)
+		out[2] = measure(sr, job)
 
 		scaler, err := scaling.PlanJob(job, cis)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		add("carbon-scaler (k≤8)", scaler, job)
+		out[3] = measure(scaler, job)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]*agg{}
+	for _, name := range modalities {
+		results[name] = &agg{}
+	}
+	for _, out := range perJob {
+		for m, name := range modalities {
+			a := results[name]
+			a.carbonG += out[m].carbonG
+			a.cpuH += out[m].cpuH
+			a.complH += out[m].complH
+		}
 	}
 
 	base := results["static-1 (NoWait)"]
 	t := NewTable("Extension x08 — carbon-saving modalities on elastic jobs (SA-AU, Amdahl p=0.9)",
 		"modality", "carbon(norm)", "cpu·h(norm)", "mean completion(h)")
-	for _, name := range []string{
-		"static-1 (NoWait)", "temporal shift (k=1)", "suspend-resume (k=1)", "carbon-scaler (k≤8)",
-	} {
+	for _, name := range modalities {
 		a := results[name]
 		t.AddRowf(name,
 			a.carbonG/base.carbonG,

@@ -1,0 +1,124 @@
+// Package par is the deterministic parallel execution layer for the
+// simulator's embarrassingly parallel sweeps: a bounded worker pool that
+// applies a function to every element of a slice, preserves input
+// ordering in the results, propagates the lowest-indexed error, and
+// contains panics.
+//
+// Determinism guarantee: for a pure fn, Map returns bit-identical results
+// at any worker count, because results are stored at their input index
+// and never depend on completion order. Error reporting is deterministic
+// too: indices are claimed in ascending order and every claimed task runs
+// to completion, so the lowest-indexed failing task is always executed
+// and its error is the one returned.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-pool size: n > 0 is used as given, anything
+// else selects GOMAXPROCS (one worker per usable core).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item on at most Workers(workers) goroutines and
+// returns the results in input order. fn receives the item's index and
+// value. On failure Map returns the error of the lowest-indexed failing
+// task (a panic inside fn is contained and reported as an error);
+// unclaimed tasks after a failure are skipped, in-flight ones complete.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	_, err := MapN(workers, len(items), func(i int) (struct{}, error) {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return struct{}{}, err
+		}
+		out[i] = r
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is Map without results: it applies fn to every item and returns
+// the lowest-indexed error, if any.
+func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error {
+	_, err := Map(workers, items, func(i int, item T) (struct{}, error) {
+		return struct{}{}, fn(i, item)
+	})
+	return err
+}
+
+// MapN is index-based Map for loops without a materialized slice: it runs
+// fn(0..n-1) on the pool and returns the n results in index order.
+func MapN[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	out := make([]R, n)
+	var (
+		next   atomic.Int64 // next index to claim
+		failed atomic.Bool  // stops claiming once any task errs
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = n // lowest failing index seen so far
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	// call isolates fn so a panic in one task cannot tear down the
+	// process: it is converted into that task's error.
+	call := func(i int) (r R, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("par: task %d panicked: %v", i, p)
+			}
+		}()
+		return fn(i)
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := call(i)
+				if err != nil {
+					record(i, err)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestMapOrdering checks that results land at their input index at every
+// worker count, including pools larger than the input.
+func TestMapOrdering(t *testing.T) {
+	items := make([]int, 250)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 500} {
+		out, err := Map(workers, items, func(_ int, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), len(items))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapFirstError checks that the lowest-indexed error wins regardless
+// of worker count or completion order.
+func TestMapFirstError(t *testing.T) {
+	items := make([]int, 100)
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(workers, items, func(i int, _ int) (int, error) {
+			if i == 7 || i == 23 || i == 99 {
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "boom at 7" {
+			t.Errorf("workers=%d: err = %v, want boom at 7", workers, err)
+		}
+	}
+}
+
+// TestMapStopsAfterError checks that an error cancels unclaimed work:
+// with one worker, nothing past the failing index runs.
+func TestMapStopsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	_, err := Map(1, items, func(i int, _ int) (int, error) {
+		ran.Add(1)
+		if i == 4 {
+			return 0, errors.New("stop")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n != 5 {
+		t.Errorf("ran %d tasks after early error, want 5", n)
+	}
+}
+
+// TestMapPanicContained checks that a panicking task is reported as that
+// task's error instead of crashing the process.
+func TestMapPanicContained(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, items, func(i int, s string) (string, error) {
+			if i == 2 {
+				panic("kaboom: " + s)
+			}
+			return s, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error from panic", workers)
+		}
+		if !strings.Contains(err.Error(), "task 2 panicked") || !strings.Contains(err.Error(), "kaboom: c") {
+			t.Errorf("workers=%d: err = %v, want contained panic", workers, err)
+		}
+	}
+}
+
+// TestMapPanicBeatsLaterError checks panics and errors share the same
+// lowest-index-wins rule.
+func TestMapPanicBeatsLaterError(t *testing.T) {
+	items := make([]int, 10)
+	_, err := Map(4, items, func(i int, _ int) (int, error) {
+		if i == 3 {
+			panic("early")
+		}
+		if i == 8 {
+			return 0, errors.New("late")
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 3 panicked") {
+		t.Errorf("err = %v, want panic from task 3", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(8, nil, func(_ int, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("Map(nil) = %v, %v", out, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	items := []int{10, 20, 30, 40}
+	var sum atomic.Int64
+	if err := ForEach(2, items, func(_ int, v int) error {
+		sum.Add(int64(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 100 {
+		t.Errorf("sum = %d, want 100", sum.Load())
+	}
+	err := ForEach(2, items, func(i int, _ int) error {
+		if i == 1 {
+			return errors.New("nope")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "nope" {
+		t.Errorf("ForEach err = %v", err)
+	}
+}
+
+func TestMapN(t *testing.T) {
+	out, err := MapN(3, 50, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if out, err := MapN(3, 0, func(i int) (int, error) { return i, nil }); err != nil || out != nil {
+		t.Errorf("MapN(0) = %v, %v", out, err)
+	}
+}
+
+// TestMapDeterministic runs the same floating-point reduction shape at
+// several worker counts and asserts bit-identical results — the property
+// the experiment sweeps rely on.
+func TestMapDeterministic(t *testing.T) {
+	items := make([]float64, 300)
+	for i := range items {
+		items[i] = 1.0 / float64(i+3)
+	}
+	work := func(_ int, v float64) (float64, error) {
+		s := 0.0
+		for k := 0; k < 1000; k++ {
+			s += v / float64(k+1)
+		}
+		return s, nil
+	}
+	ref, err := Map(1, items, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Map(workers, items, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v (bit-exact)", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -103,15 +103,41 @@ func (t *Trace) AssignQueues(shortMax simtime.Duration) {
 // (the unbounded last queue). An empty bounds puts every job in queue 0.
 func (t *Trace) ClassifyQueues(bounds []simtime.Duration) {
 	for i := range t.Jobs {
-		q := Queue(len(bounds))
-		for k, b := range bounds {
-			if t.Jobs[i].Length <= b {
-				q = Queue(k)
-				break
-			}
-		}
-		t.Jobs[i].Queue = q
+		t.Jobs[i].Queue = ClassifyLength(t.Jobs[i].Length, bounds)
 	}
+}
+
+// ClassifyLength returns the queue a job of the given length belongs to
+// under the ascending bounds ladder (see ClassifyQueues). It lets callers
+// classify jobs on the fly without mutating a shared trace.
+func ClassifyLength(length simtime.Duration, bounds []simtime.Duration) Queue {
+	for k, b := range bounds {
+		if length <= b {
+			return Queue(k)
+		}
+	}
+	return Queue(len(bounds))
+}
+
+// MeanLengthsByBounds returns the mean job length of every queue of the
+// bounds ladder (len(bounds)+1 entries, empty queues report 0), computed
+// by classifying each job on the fly. Unlike ClassifyQueues +
+// MeanLengthByQueue it leaves the trace untouched, so concurrent
+// simulations can share one immutable trace.
+func (t *Trace) MeanLengthsByBounds(bounds []simtime.Duration) []simtime.Duration {
+	totals := make([]simtime.Duration, len(bounds)+1)
+	counts := make([]int, len(bounds)+1)
+	for _, j := range t.Jobs {
+		q := ClassifyLength(j.Length, bounds)
+		totals[q] += j.Length
+		counts[q]++
+	}
+	for i := range totals {
+		if counts[i] > 0 {
+			totals[i] /= simtime.Duration(counts[i])
+		}
+	}
+	return totals
 }
 
 // FilterLength drops jobs shorter than min or longer than max, the paper's
