@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench figures figures-full examples clean
+.PHONY: all build vet test race cover bench bench-json figures figures-full examples clean
 
 all: build vet test race
 
@@ -22,9 +22,18 @@ race:
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...
 
-# Every paper figure + extension as benchmarks (quick scale).
+# Every benchmark in the module: the root package's figure + hot-path
+# benchmarks and any per-package micro-benchmarks. -run='^$' skips the
+# unit tests.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Machine-readable snapshot of the hot-path benchmarks (see cmd/gaia-bench).
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	$(GO) test -run='^$$' \
+		-bench='SchedulerThroughput|PolicyDecide|WaitAwhilePlan|CarbonIntegral' \
+		-benchmem . | $(GO) run ./cmd/gaia-bench -label pr2 -o $(BENCH_JSON)
 
 # Regenerate the evaluation tables (quick scale; figures-full = paper scale).
 figures:

@@ -161,22 +161,40 @@ func BenchmarkCarbonIntegral(b *testing.B) {
 	}
 }
 
-// BenchmarkPolicyDecide measures one Carbon-Time scheduling decision
-// (a 24 h candidate scan over forecast integrals).
+// BenchmarkPolicyDecide measures one scheduling decision per policy with
+// the oracle fast paths enabled (the simulator's configuration), plus a
+// reference-path variant of Carbon-Time for the before/after comparison.
+// The slot-granular policies must not allocate in steady state; the
+// differential tests in internal/policy pin the exact budgets.
 func BenchmarkPolicyDecide(b *testing.B) {
 	tr := carbon.RegionSAAU.GenerateYear(1)
-	ctx := &policy.Context{
-		CIS: carbon.NewPerfectService(tr),
-		Queues: map[workload.Queue]policy.QueueInfo{
-			workload.QueueLong: {MaxWait: 24 * simtime.Hour, AvgLength: 4 * simtime.Hour},
-		},
+	queues := map[workload.Queue]policy.QueueInfo{
+		workload.QueueShort: {MaxWait: 6 * simtime.Hour, AvgLength: 90 * simtime.Minute},
+		workload.QueueLong:  {MaxWait: 24 * simtime.Hour, AvgLength: 4 * simtime.Hour},
 	}
 	job := workload.Job{ID: 1, Length: 4 * simtime.Hour, CPUs: 2, Queue: workload.QueueLong}
-	p := policy.CarbonTime{}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		_ = p.Decide(job, simtime.Time(i%100000), ctx)
+	bench := func(p policy.Policy, fast bool) func(*testing.B) {
+		return func(b *testing.B) {
+			ctx := &policy.Context{CIS: carbon.NewPerfectService(tr), Queues: queues}
+			if fast {
+				ctx.EnableFastPaths()
+			}
+			_ = p.Decide(job, 0, ctx) // warm scratch buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.Decide(job, simtime.Time(i%100000), ctx)
+			}
+		}
 	}
+	for _, p := range []policy.Policy{
+		policy.NoWait{}, policy.AllWait{},
+		policy.LowestSlot{}, policy.LowestWindow{}, policy.CarbonTime{},
+		policy.WaitAwhile{},
+	} {
+		b.Run(p.Name(), bench(p, true))
+	}
+	b.Run("CarbonTime-reference", bench(policy.CarbonTime{}, false))
 }
 
 // BenchmarkWaitAwhilePlan measures building one suspend-resume plan.

@@ -1,0 +1,157 @@
+// Command gaia-bench converts `go test -bench` output into a
+// machine-readable JSON document, so benchmark numbers can be committed
+// alongside the code they measure and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | gaia-bench -label pr2 -o BENCH.json
+//
+// The converter keeps the environment headers (goos/goarch/cpu), splits
+// the canonical ns/op, B/op and allocs/op columns into typed fields, and
+// collects any custom b.ReportMetric units (speedup, jobs/op, ...) into a
+// per-benchmark metrics map. No timestamps are recorded: reruns on the
+// same machine producing the same numbers yield byte-identical files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line of `go test -bench` output.
+type Benchmark struct {
+	// Name is the benchmark (and sub-benchmark) name without the
+	// Benchmark prefix and the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Package is the import path from the preceding pkg: header.
+	Package string `json:"package"`
+	// Procs is the GOMAXPROCS suffix of the name (1 when absent).
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every remaining value/unit pair (custom
+	// b.ReportMetric units such as "speedup" or "jobs/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document gaia-bench emits.
+type Report struct {
+	Label      string      `json:"label,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "", "free-form label recorded in the report (e.g. a PR id)")
+		out   = flag.String("o", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
+		os.Exit(1)
+	}
+	report.Label = *label
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "gaia-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test benchmark output: environment headers, one line per
+// benchmark, PASS/ok trailers (ignored).
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseLine splits one result line: name, iteration count, then value/unit
+// pairs.
+func parseLine(line, pkg string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line")
+	}
+	b := Benchmark{Package: pkg, Procs: 1}
+	b.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	// The trailing -N is the GOMAXPROCS the benchmark ran at.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count: %w", err)
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}

@@ -8,6 +8,7 @@
 //	gaia-exp -figure fig13 -full      # paper-scale (year, ~100k jobs)
 //	gaia-exp -all                     # every figure, quick scale
 //	gaia-exp -all -j 4                # at most 4 experiments in flight
+//	gaia-exp -figure fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -all, experiments run concurrently on a bounded worker pool
 // (sweeps inside each experiment additionally parallelize across cores);
@@ -22,22 +23,60 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/carbonsched/gaia/internal/experiments"
 	"github.com/carbonsched/gaia/internal/par"
 )
 
-func main() {
+// main only converts run's code into an exit status; all the work happens
+// in run so its deferred profile teardown executes before os.Exit.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		figure  = flag.String("figure", "", "experiment id to run (e.g. fig08)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list available experiments")
-		full    = flag.Bool("full", false, "paper-scale runs (year-long traces) instead of quick")
-		outdir  = flag.String("outdir", "", "also write each result to <outdir>/<id>.txt")
-		workers = flag.Int("j", runtime.NumCPU(), "max experiments in flight for -all (results stay deterministic)")
+		figure     = flag.String("figure", "", "experiment id to run (e.g. fig08)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list available experiments")
+		full       = flag.Bool("full", false, "paper-scale runs (year-long traces) instead of quick")
+		outdir     = flag.String("outdir", "", "also write each result to <outdir>/<id>.txt")
+		workers    = flag.Int("j", runtime.NumCPU(), "max experiments in flight for -all (results stay deterministic)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+			}
+		}()
+	}
 
 	scale := experiments.Quick
 	if *full {
@@ -52,22 +91,23 @@ func main() {
 	case *all:
 		if err := runAll(scale, *workers, *outdir); err != nil {
 			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case *figure != "":
 		e, err := experiments.ByID(*figure)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := runOne(e, scale, *outdir); err != nil {
 			fmt.Fprintf(os.Stderr, "gaia-exp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // runAll executes every experiment on a worker pool of the given size and

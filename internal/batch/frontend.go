@@ -144,6 +144,9 @@ func Run(cfg Config, jobs *workload.Trace) (res *Result, err error) {
 			workload.QueueLong:  {MaxWait: cfg.WaitLong, AvgLength: trace.MeanLengthByQueue(workload.QueueLong)},
 		},
 	}
+	// No-op unless the CIS is perfect-knowledge; decisions are
+	// bit-identical either way (see policy.Context.EnableFastPaths).
+	ctx.EnableFastPaths()
 
 	for _, spec := range trace.Jobs {
 		spec := spec

@@ -77,6 +77,10 @@ func (s *NoisyService) Intensity(t simtime.Time) float64 { return s.trace.At(t) 
 // ForecastIntegral integrates the noisy per-slot forecast over iv, with
 // error growing with the lead time from asOf. Noise is frozen per slot so
 // repeated queries are consistent within a run.
+//
+// The loop keeps each slot's arithmetic — sigma, factor, overlap hours —
+// in the reference operand order so hoisting the per-slot interval and
+// clamp bookkeeping cannot perturb a single bit of the result.
 func (s *NoisyService) ForecastIntegral(asOf simtime.Time, iv simtime.Interval) float64 {
 	if iv.IsEmpty() {
 		return 0
@@ -84,29 +88,38 @@ func (s *NoisyService) ForecastIntegral(asOf simtime.Time, iv simtime.Interval) 
 	if asOf > iv.Start {
 		asOf = iv.Start
 	}
-	var total float64
 	first := iv.Start.HourIndex()
 	last := (iv.End - 1).HourIndex()
+	errPerDay := s.ErrPerDay
+	lastIdx := len(s.noise) - 1
+	var total float64
+	slotStart := simtime.Time(simtime.Duration(first) * simtime.Hour)
 	for i := first; i <= last; i++ {
-		slot := simtime.Interval{
-			Start: simtime.Time(simtime.Duration(i) * simtime.Hour),
-			End:   simtime.Time(simtime.Duration(i+1) * simtime.Hour),
+		slotEnd := slotStart + simtime.Time(simtime.Hour)
+		ovStart, ovEnd := slotStart, slotEnd
+		if iv.Start > ovStart {
+			ovStart = iv.Start
 		}
-		ov := slot.Intersect(iv)
-		leadDays := simtime.MaxTime(slot.Start, asOf).Sub(asOf).Days()
-		sigma := s.ErrPerDay * leadDays
+		if iv.End < ovEnd {
+			ovEnd = iv.End
+		}
+		lead := slotStart.Sub(asOf)
+		if lead < 0 {
+			lead = 0
+		}
+		sigma := errPerDay * lead.Days()
 		idx := i
 		if idx < 0 {
 			idx = 0
-		}
-		if idx >= len(s.noise) {
-			idx = len(s.noise) - 1
+		} else if idx > lastIdx {
+			idx = lastIdx
 		}
 		factor := 1 + sigma*s.noise[idx]
 		if factor < 0.05 {
 			factor = 0.05
 		}
-		total += s.trace.Value(i) * factor * ov.Len().Hours()
+		total += s.trace.values[idx] * factor * ovEnd.Sub(ovStart).Hours()
+		slotStart = slotEnd
 	}
 	return total
 }

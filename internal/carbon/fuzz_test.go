@@ -2,8 +2,12 @@ package carbon
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
 )
 
 // FuzzReadCSV asserts the carbon parser never panics and accepted traces
@@ -28,6 +32,47 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if again.Len() != tr.Len() {
 			t.Fatalf("round trip changed length")
+		}
+	})
+}
+
+// FuzzTraceIntegral differentially tests the prefix-sum Integral against a
+// naive minute-by-minute summation, including intervals that straddle the
+// pre-horizon (negative start) and post-horizon clamping regions.
+func FuzzTraceIntegral(f *testing.F) {
+	f.Add(int64(1), 24, int64(0), int64(90))         // in-horizon, partial slots
+	f.Add(int64(2), 1, int64(-30), int64(90))        // single-slot trace, both clamps
+	f.Add(int64(3), 48, int64(-120), int64(30))      // pre-horizon straddle
+	f.Add(int64(4), 48, int64(47*60+30), int64(200)) // post-horizon straddle
+	f.Add(int64(5), 6, int64(400), int64(0))         // empty interval
+	f.Fuzz(func(t *testing.T, seed int64, n int, start, length int64) {
+		if n < 1 || n > 200 || length < 0 || length > 20000 || start < -20000 || start > 20000 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = 800 * rng.Float64()
+		}
+		tr := MustTrace("fuzz", values)
+		iv := simtime.Interval{Start: simtime.Time(start), End: simtime.Time(start + length)}
+		got := tr.Integral(iv)
+
+		// Naive reference: each minute contributes 1/60 h at its slot's
+		// (clamped) intensity.
+		var want float64
+		for m := iv.Start; m < iv.End; m++ {
+			i := m.HourIndex()
+			if i < 0 {
+				i = 0
+			}
+			if i >= n {
+				i = n - 1
+			}
+			want += values[i] / 60
+		}
+		if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Integral(%v) = %v, naive sum = %v (diff %g)", iv, got, want, diff)
 		}
 	})
 }

@@ -1,0 +1,194 @@
+package carbon
+
+import (
+	"sync"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// Oracle holds derived decision tables for one trace. Policies answer
+// "where is the lowest-CI slot/window inside [now, now+W]?" in O(1) from
+// these tables instead of re-scanning W forecast queries per job. Tables
+// are built lazily, once per (W, L) pair, and cached for the lifetime of
+// the trace, so a 30-cell sweep over one trace shares a single table set
+// the same way it shares the immutable trace itself.
+//
+// All table entries are computed through the very same Trace.Value and
+// Trace.Integral calls the reference policy implementations make, so
+// consulting a table yields bit-identical floats — and therefore
+// bit-identical decisions — to a fresh scan.
+type Oracle struct {
+	trace  *Trace
+	mu     sync.Mutex
+	queues map[oracleKey]*QueueTables
+}
+
+type oracleKey struct {
+	w, l simtime.Duration
+}
+
+// Oracle returns the trace's decision-table cache, creating it on first
+// use. Safe for concurrent callers; all of them observe the same Oracle.
+func (tr *Trace) Oracle() *Oracle {
+	if o := tr.oracle.Load(); o != nil {
+		return o
+	}
+	o := &Oracle{trace: tr, queues: make(map[oracleKey]*QueueTables)}
+	if tr.oracle.CompareAndSwap(nil, o) {
+		return o
+	}
+	return tr.oracle.Load()
+}
+
+// Queue returns the tables for a queue with maximum wait w and length
+// estimate l, building them on first request. It returns nil for
+// configurations the tables cannot represent (negative wait or
+// non-positive estimate). Safe for concurrent callers.
+func (o *Oracle) Queue(w, l simtime.Duration) *QueueTables {
+	if w < 0 || l <= 0 {
+		return nil
+	}
+	key := oracleKey{w: w, l: l}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t := o.queues[key]; t != nil {
+		return t
+	}
+	t := newQueueTables(o.trace, w, l)
+	o.queues[key] = t
+	return t
+}
+
+// QueueTables are the precomputed per-(W, L) decision tables.
+//
+// A job arriving at minute `now` inside hourly slot i0 = now.HourIndex()
+// considers the candidate starts {now} ∪ {hourly boundaries in
+// (now, now+W]}; the number of boundaries is k = (now%60 + W) / 60, which
+// is either k0 = W/60 or k0+1 depending on the arrival minute. The tables
+// therefore hold, for both window widths, the leftmost index of the
+// minimum over every window position:
+//
+//	vals[i]    = Trace.Value(i)                     (slot CI)
+//	winSums[i] = Trace.Integral([i·1h, i·1h + L))   (the G_L window array)
+//	slotMin[d] = sliding argmin of vals over k0+1+d consecutive slots
+//	winMin[d]  = sliding argmin of winSums over k0+d consecutive slots
+//
+// Arrays extend k0+2 slots past the trace horizon — computed through the
+// same clamped Value/Integral calls as any direct query — so jobs
+// arriving in the final hours still answer from the tables.
+type QueueTables struct {
+	trace   *Trace
+	w, l    simtime.Duration
+	k0      int
+	vals    []float64
+	winSums []float64
+	slotMin [2][]int32
+	winMin  [2][]int32
+}
+
+func newQueueTables(tr *Trace, w, l simtime.Duration) *QueueTables {
+	k0 := int(w / simtime.Hour)
+	size := tr.Len() + k0 + 2
+	vals := make([]float64, size)
+	winSums := make([]float64, size)
+	for i := 0; i < size; i++ {
+		vals[i] = tr.Value(i)
+		start := simtime.Time(simtime.Duration(i) * simtime.Hour)
+		winSums[i] = tr.Integral(simtime.Interval{Start: start, End: start.Add(l)})
+	}
+	t := &QueueTables{trace: tr, w: w, l: l, k0: k0, vals: vals, winSums: winSums}
+	t.slotMin[0] = slideMinIndex(vals, k0+1)
+	t.slotMin[1] = slideMinIndex(vals, k0+2)
+	if k0 >= 1 {
+		t.winMin[0] = slideMinIndex(winSums, k0)
+	}
+	t.winMin[1] = slideMinIndex(winSums, k0+1)
+	return t
+}
+
+// MaxWait returns the W the tables were built for.
+func (t *QueueTables) MaxWait() simtime.Duration { return t.w }
+
+// EstLength returns the length estimate L the window integrals use.
+func (t *QueueTables) EstLength() simtime.Duration { return t.l }
+
+// Integral is the underlying trace's window integral (policies use it for
+// the minute-precise baseline window starting at `now`).
+func (t *QueueTables) Integral(iv simtime.Interval) float64 { return t.trace.Integral(iv) }
+
+// Boundaries returns the number k of hourly-boundary candidates in
+// (now, now+W]. ok is false when now precedes the simulation origin or k
+// falls outside the two precomputed widths (only possible for a caller
+// asking about a different W than the tables were built for).
+func (t *QueueTables) Boundaries(now simtime.Time) (k int, ok bool) {
+	if now < 0 {
+		return 0, false
+	}
+	m := int64(now) % int64(simtime.Hour)
+	k = int((m + int64(t.w)) / int64(simtime.Hour))
+	if k < t.k0 || k > t.k0+1 {
+		return 0, false
+	}
+	return k, true
+}
+
+// Covers reports whether the window [i0, i0+k] lies inside the padded
+// tables; callers fall back to a direct scan when it does not.
+func (t *QueueTables) Covers(i0, k int) bool {
+	return i0 >= 0 && i0+k < len(t.vals)
+}
+
+// LowestSlot returns the leftmost index of the minimum slot CI over
+// candidate slots [i0, i0+k] — exactly the slot a strict-< scan in
+// candidate order selects.
+func (t *QueueTables) LowestSlot(i0, k int) (slot int, ok bool) {
+	if !t.Covers(i0, k) {
+		return 0, false
+	}
+	return int(t.slotMin[k-t.k0][i0]), true
+}
+
+// LowestWindow returns the leftmost index of the minimum L-window
+// integral over the boundary slots [i0+1, i0+k]. It requires k >= 1.
+func (t *QueueTables) LowestWindow(i0, k int) (slot int, ok bool) {
+	if k < 1 || !t.Covers(i0, k) {
+		return 0, false
+	}
+	return int(t.winMin[k-t.k0][i0+1]), true
+}
+
+// WindowSum returns the precomputed Integral([j·1h, j·1h+L)).
+func (t *QueueTables) WindowSum(j int) float64 { return t.winSums[j] }
+
+// SlotValue returns the (clamp-padded) CI of slot j.
+func (t *QueueTables) SlotValue(j int) float64 { return t.vals[j] }
+
+// slideMinIndex returns, for every i, the leftmost index of the minimum
+// of base[i : min(i+k, len)] via a monotonic deque: the back is popped
+// only on strictly greater values, so ties keep the earliest index —
+// matching the strict-< scan the reference policies perform.
+func slideMinIndex(base []float64, k int) []int32 {
+	n := len(base)
+	out := make([]int32, n)
+	dq := make([]int32, n)
+	head, tail, next := 0, 0, 0
+	for i := 0; i < n; i++ {
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		for ; next < hi; next++ {
+			v := base[next]
+			for tail > head && base[dq[tail-1]] > v {
+				tail--
+			}
+			dq[tail] = int32(next)
+			tail++
+		}
+		for dq[head] < int32(i) {
+			head++
+		}
+		out[i] = dq[head]
+	}
+	return out
+}

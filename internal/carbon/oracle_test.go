@@ -1,0 +1,151 @@
+package carbon
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// naiveSlideMin is the brute-force leftmost argmin slideMinIndex must
+// reproduce.
+func naiveSlideMin(base []float64, k int) []int32 {
+	out := make([]int32, len(base))
+	for i := range base {
+		hi := i + k
+		if hi > len(base) {
+			hi = len(base)
+		}
+		best := i
+		for j := i + 1; j < hi; j++ {
+			if base[j] < base[best] {
+				best = j
+			}
+		}
+		out[i] = int32(best)
+	}
+	return out
+}
+
+func TestSlideMinIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 48, 200} {
+		for _, k := range []int{1, 2, 5, 24, n + 3} {
+			// Quantized values force ties: the deque must keep the
+			// leftmost index, like a strict-< scan.
+			base := make([]float64, n)
+			for i := range base {
+				base[i] = float64(rng.Intn(4)) * 100
+			}
+			got := slideMinIndex(base, k)
+			want := naiveSlideMin(base, k)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: argmin[%d] = %d, want %d", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQueueTablesMatchDirectQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	values := make([]float64, 72)
+	for i := range values {
+		values[i] = 50 + 400*rng.Float64()
+	}
+	tr := MustTrace("test", values)
+	w := 6*simtime.Hour + 30*simtime.Minute
+	l := 95 * simtime.Minute
+	qt := tr.Oracle().Queue(w, l)
+
+	if qt.MaxWait() != w || qt.EstLength() != l {
+		t.Fatalf("tables report (%v, %v), want (%v, %v)", qt.MaxWait(), qt.EstLength(), w, l)
+	}
+	// Every table entry — including the padding past the horizon — must
+	// be the exact float a direct query returns.
+	for j := 0; j < tr.Len()+int(w/simtime.Hour)+2; j++ {
+		start := simtime.Time(simtime.Duration(j) * simtime.Hour)
+		if got, want := qt.SlotValue(j), tr.Value(j); got != want {
+			t.Fatalf("vals[%d] = %v, want %v", j, got, want)
+		}
+		iv := simtime.Interval{Start: start, End: start.Add(l)}
+		if got, want := qt.WindowSum(j), tr.Integral(iv); got != want {
+			t.Fatalf("winSums[%d] = %v, want %v", j, got, want)
+		}
+	}
+	// Boundary counts across arrival minutes: k hourly boundaries lie in
+	// (now, now+w].
+	for _, now := range []simtime.Time{0, 1, 29, 30, 59, 60, 61, 4321} {
+		k, ok := qt.Boundaries(now)
+		if !ok {
+			t.Fatalf("Boundaries(%v) not ok", now)
+		}
+		want := 0
+		for b := simtime.Time((now.HourIndex() + 1) * int(simtime.Hour)); b <= now.Add(w); b = b.Add(simtime.Hour) {
+			want++
+		}
+		if k != want {
+			t.Fatalf("Boundaries(%v) = %d, want %d", now, k, want)
+		}
+		// The argmin lookups agree with a direct strict-< scan.
+		i0 := now.HourIndex()
+		if slot, ok := qt.LowestSlot(i0, k); ok {
+			best := i0
+			for j := i0 + 1; j <= i0+k; j++ {
+				if tr.Value(j) < tr.Value(best) {
+					best = j
+				}
+			}
+			if slot != best {
+				t.Fatalf("LowestSlot(%d, %d) = %d, want %d", i0, k, slot, best)
+			}
+		} else {
+			t.Fatalf("LowestSlot(%d, %d) not covered", i0, k)
+		}
+	}
+}
+
+func TestOracleIsCachedPerTraceAndKey(t *testing.T) {
+	tr := MustTrace("test", []float64{100, 200, 300})
+	if tr.Oracle() != tr.Oracle() {
+		t.Fatal("Oracle() returned distinct caches for one trace")
+	}
+	o := tr.Oracle()
+	a := o.Queue(6*simtime.Hour, simtime.Hour)
+	if b := o.Queue(6*simtime.Hour, simtime.Hour); a != b {
+		t.Fatal("same (W, L) built tables twice")
+	}
+	if c := o.Queue(24*simtime.Hour, simtime.Hour); c == a {
+		t.Fatal("distinct W shared tables")
+	}
+	if o.Queue(-simtime.Hour, simtime.Hour) != nil {
+		t.Fatal("negative wait should have no tables")
+	}
+	if o.Queue(simtime.Hour, 0) != nil {
+		t.Fatal("non-positive estimate should have no tables")
+	}
+}
+
+// TestOracleConcurrentAccess exercises the lazy init and the (W, L) cache
+// from many goroutines; `go test -race` verifies the synchronization.
+func TestOracleConcurrentAccess(t *testing.T) {
+	tr := MustTrace("test", []float64{100, 200, 300, 400})
+	var wg sync.WaitGroup
+	tables := make([]*QueueTables, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[g] = tr.Oracle().Queue(6*simtime.Hour, simtime.Hour)
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		if tables[g] != tables[0] {
+			t.Fatal("concurrent callers observed distinct tables")
+		}
+	}
+}

@@ -11,6 +11,7 @@ package carbon
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/stats"
@@ -24,6 +25,7 @@ type Trace struct {
 	region string
 	values []float64 // g/kWh per hourly slot
 	prefix []float64 // prefix[i] = sum of values[0:i]
+	oracle atomic.Pointer[Oracle]
 }
 
 // NewTrace builds a trace from hourly CI values (g/kWh). The slice is

@@ -240,6 +240,11 @@ func (c Config) validate() error {
 // waits and historical average lengths computed from the trace. Averages
 // are derived from the classification bounds directly so the shared trace
 // never needs its Queue fields rewritten.
+//
+// Fast paths are enabled unconditionally: with the default perfect CIS
+// the context answers decisions from the trace's oracle tables (shared
+// across every concurrent Run over that trace), and with any other CIS
+// the call is a no-op and decisions take the reference path.
 func (c Config) policyContext(jobs *workload.Trace) *policy.Context {
 	means := jobs.MeanLengthsByBounds(c.queueBounds())
 	queues := make(map[workload.Queue]policy.QueueInfo, len(c.Queues))
@@ -251,7 +256,9 @@ func (c Config) policyContext(jobs *workload.Trace) *policy.Context {
 		}
 		queues[q] = policy.QueueInfo{MaxWait: spec.MaxWait, AvgLength: avg}
 	}
-	return &policy.Context{CIS: c.CIS, Queues: queues}
+	ctx := &policy.Context{CIS: c.CIS, Queues: queues}
+	ctx.EnableFastPaths()
+	return ctx
 }
 
 // queueBounds returns the classification bounds for ClassifyQueues: the

@@ -3,7 +3,6 @@ package core
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"github.com/carbonsched/gaia/internal/cloud"
 	"github.com/carbonsched/gaia/internal/metrics"
@@ -48,17 +47,22 @@ func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 		engine: sim.NewEngine(),
 		pool:   pool,
 		evict:  evict,
+		// A normalized trace numbers jobs 0..n-1, so each job's record
+		// lives at results[job.ID]: no append growth, no final sort.
+		results: make([]metrics.JobResult, len(trace.Jobs)),
 	}
 	for _, job := range trace.Jobs {
 		job := job
 		// Queue classification happens on the per-event copy of the job,
-		// never on the (shared, immutable) trace.
+		// never on the (shared, immutable) trace. Arrivals ride the
+		// engine's sorted stream — the normalized trace is already in
+		// arrival order — so the event heap only ever holds in-flight
+		// starts and finishes.
 		job.Queue = workload.ClassifyLength(job.Length, bounds)
-		s.engine.Schedule(job.Arrival, sim.PriorityArrival, func() { s.arrive(job) })
+		s.engine.ScheduleSorted(job.Arrival, sim.PriorityArrival, func() { s.arrive(job) })
 	}
 	s.engine.Run()
 
-	sort.Slice(s.results, func(i, j int) bool { return s.results[i].JobID < s.results[j].JobID })
 	return &metrics.Result{
 		Label:    cfg.Label,
 		Region:   cfg.Carbon.Region(),
@@ -98,17 +102,16 @@ type scheduler struct {
 // arrive handles a job submission.
 func (s *scheduler) arrive(job workload.Job) {
 	now := s.engine.Now()
-	rec := &metrics.JobResult{
-		JobID:   job.ID,
-		Queue:   job.Queue,
-		User:    job.User,
-		CPUs:    job.CPUs,
-		Length:  job.Length,
-		Arrival: now,
-		BaselineCarbon: s.carbonOf(simtime.Interval{
-			Start: now, End: now.Add(job.Length),
-		}, job.CPUs),
-	}
+	rec := &s.results[job.ID]
+	rec.JobID = job.ID
+	rec.Queue = job.Queue
+	rec.User = job.User
+	rec.CPUs = job.CPUs
+	rec.Length = job.Length
+	rec.Arrival = now
+	rec.BaselineCarbon = s.carbonOf(simtime.Interval{
+		Start: now, End: now.Add(job.Length),
+	}, job.CPUs)
 
 	if s.spotEligible(job) {
 		s.scheduleSpot(job, rec)
@@ -334,7 +337,6 @@ func (s *scheduler) scheduleCheckpointedSpot(job workload.Job, rec *metrics.JobR
 func (s *scheduler) finish(rec *metrics.JobResult, at simtime.Time) {
 	rec.Finish = at
 	rec.Waiting = at.Sub(rec.Arrival) - rec.Length
-	s.results = append(s.results, *rec)
 	if s.cfg.WorkConserving {
 		s.drainWaiting()
 	}

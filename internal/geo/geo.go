@@ -130,6 +130,9 @@ func Run(cfg Config, jobs *workload.Trace) (*Result, error) {
 				workload.QueueLong:  {MaxWait: cfg.WaitLong, AvgLength: trace.MeanLengthByQueue(workload.QueueLong)},
 			},
 		}
+		// The placement loop probes every region's context per job;
+		// answering from the oracle tables makes that loop O(regions).
+		contexts[i].EnableFastPaths()
 	}
 
 	// Spatial placement: the region whose temporal decision forecasts

@@ -41,12 +41,25 @@ type LowestSlot struct{}
 // Name implements Policy.
 func (LowestSlot) Name() string { return "Lowest-Slot" }
 
-// Decide implements Policy.
-func (LowestSlot) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+// Decide implements Policy. With oracle fast paths enabled (see
+// Context.EnableFastPaths) the answer is a precomputed sliding-window
+// argmin lookup; otherwise it falls back to the reference scan.
+func (p LowestSlot) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	if t := ctx.fastTab(job.Queue); t != nil {
+		if d, ok := ctx.fastLowestSlot(t, now); ok {
+			return d
+		}
+	}
+	return p.referenceDecide(job, now, ctx)
+}
+
+// referenceDecide is the direct O(W) scan the fast path is differential-
+// tested against.
+func (LowestSlot) referenceDecide(job workload.Job, now simtime.Time, ctx *Context) Decision {
 	w := ctx.Queue(job.Queue).MaxWait
 	best := now
 	bestCI := ctx.CIS.Intensity(now)
-	for _, s := range candidateStarts(now, w) {
+	for _, s := range ctx.candidateStarts(now, w) {
 		if ci := ctx.CIS.Intensity(s); ci < bestCI {
 			best, bestCI = s, ci
 		}
@@ -62,13 +75,26 @@ type LowestWindow struct{}
 // Name implements Policy.
 func (LowestWindow) Name() string { return "Lowest-Window" }
 
-// Decide implements Policy.
-func (LowestWindow) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+// Decide implements Policy. With oracle fast paths enabled the G_L
+// window-integral array and its sliding argmin answer in O(1); otherwise
+// it falls back to the reference scan.
+func (p LowestWindow) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	if t := ctx.fastTab(job.Queue); t != nil {
+		if d, ok := ctx.fastLowestWindow(t, now); ok {
+			return d
+		}
+	}
+	return p.referenceDecide(job, now, ctx)
+}
+
+// referenceDecide is the direct O(W) scan the fast path is differential-
+// tested against.
+func (LowestWindow) referenceDecide(job workload.Job, now simtime.Time, ctx *Context) Decision {
 	w := ctx.Queue(job.Queue).MaxWait
 	est := estimatedLength(job, ctx)
 	best := now
 	bestC := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: now, End: now.Add(est)})
-	for _, s := range candidateStarts(now, w) {
+	for _, s := range ctx.candidateStarts(now, w) {
 		c := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: s, End: s.Add(est)})
 		if c < bestC {
 			best, bestC = s, c
@@ -90,14 +116,27 @@ type CarbonTime struct{}
 // Name implements Policy.
 func (CarbonTime) Name() string { return "Carbon-Time" }
 
-// Decide implements Policy.
-func (CarbonTime) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+// Decide implements Policy. With oracle fast paths enabled the CST scan
+// reads precomputed window integrals (no forecast calls, no allocations);
+// otherwise it falls back to the reference scan.
+func (p CarbonTime) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	if t := ctx.fastTab(job.Queue); t != nil {
+		if d, ok := ctx.fastCarbonTime(t, now); ok {
+			return d
+		}
+	}
+	return p.referenceDecide(job, now, ctx)
+}
+
+// referenceDecide is the direct O(W) scan the fast path is differential-
+// tested against.
+func (CarbonTime) referenceDecide(job workload.Job, now simtime.Time, ctx *Context) Decision {
 	w := ctx.Queue(job.Queue).MaxWait
 	est := estimatedLength(job, ctx)
 	baseline := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: now, End: now.Add(est)})
 	best := now
 	bestCST := 0.0
-	for _, s := range candidateStarts(now, w) {
+	for _, s := range ctx.candidateStarts(now, w) {
 		c := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: s, End: s.Add(est)})
 		saving := baseline - c
 		if saving <= 0 {

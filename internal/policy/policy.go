@@ -35,9 +35,27 @@ type QueueInfo struct {
 // Policies must not use Job.Length unless they are declared
 // length-aware (Table 1) — the simulator passes the true length in the
 // job for execution purposes only.
+//
+// A Context also carries per-run decision state: scratch buffers reused
+// across Decide calls and, after EnableFastPaths, the precomputed oracle
+// tables (see carbon.Oracle). A Context must therefore not be shared by
+// concurrently running simulations — each core.Run builds its own, while
+// the immutable tables underneath are shared across the whole sweep.
 type Context struct {
 	CIS    carbon.Service
 	Queues map[workload.Queue]QueueInfo
+
+	// Oracle fast-path state (EnableFastPaths). fast is indexed by queue;
+	// ftrace is the perfect-knowledge trace the tables were derived from.
+	fast     []*carbon.QueueTables
+	ftrace   *carbon.Trace
+	ranks    map[int]hourRank
+	fastHits int64
+
+	// Scratch buffers reused across Decide calls on this Context.
+	starts []simtime.Time
+	picked []simtime.Interval
+	next24 [24]float64
 }
 
 // Queue returns the queue info, or a zero QueueInfo for unknown queues.
@@ -138,7 +156,19 @@ type Policy interface {
 // granularity would not change the objective because CI is constant within
 // a slot.
 func candidateStarts(now simtime.Time, w simtime.Duration) []simtime.Time {
-	out := []simtime.Time{now}
+	return appendCandidateStarts(nil, now, w)
+}
+
+// candidateStarts is the scratch-buffer variant used on the Decide hot
+// path: the enumeration is identical, but the backing array is reused
+// across calls so steady-state decisions allocate nothing.
+func (c *Context) candidateStarts(now simtime.Time, w simtime.Duration) []simtime.Time {
+	c.starts = appendCandidateStarts(c.starts[:0], now, w)
+	return c.starts
+}
+
+func appendCandidateStarts(out []simtime.Time, now simtime.Time, w simtime.Duration) []simtime.Time {
+	out = append(out, now)
 	if w <= 0 {
 		return out
 	}

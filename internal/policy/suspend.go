@@ -17,8 +17,22 @@ type WaitAwhile struct{}
 // Name implements Policy.
 func (WaitAwhile) Name() string { return "WaitAwhile" }
 
-// Decide implements Policy.
-func (WaitAwhile) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+// Decide implements Policy. With oracle fast paths enabled the CI rank
+// of the deadline's slots comes from a per-hour cache (computed once per
+// arrival hour, not per job); otherwise it falls back to the reference
+// per-job sort.
+func (p WaitAwhile) Decide(job workload.Job, now simtime.Time, ctx *Context) Decision {
+	if ctx.ftrace != nil {
+		if d, ok := ctx.fastWaitAwhile(job, now); ok {
+			return d
+		}
+	}
+	return p.referenceDecide(job, now, ctx)
+}
+
+// referenceDecide is the per-job sort-and-pick the fast path is
+// differential-tested against.
+func (WaitAwhile) referenceDecide(job workload.Job, now simtime.Time, ctx *Context) Decision {
 	w := ctx.Queue(job.Queue).MaxWait
 	deadline := now.Add(job.Length + w)
 	slots := hourSlots(now, deadline)
@@ -31,7 +45,7 @@ func (WaitAwhile) Decide(job workload.Job, now simtime.Time, ctx *Context) Decis
 		}
 		return slots[i].Start < slots[j].Start
 	})
-	var picked []simtime.Interval
+	picked := make([]simtime.Interval, 0, len(slots))
 	var total simtime.Duration
 	for _, s := range slots {
 		if total >= job.Length {
@@ -69,18 +83,20 @@ func (e Ecovisor) Decide(job workload.Job, now simtime.Time, ctx *Context) Decis
 	if pct <= 0 {
 		pct = 30
 	}
-	// Threshold: percentile of hourly CI over the next 24 h.
-	next24 := make([]float64, 24)
+	// Threshold: percentile of hourly CI over the next 24 h. The samples
+	// land in a Context scratch array and are sorted in place — the
+	// percentile arithmetic is unchanged, only the copy is gone.
+	next24 := ctx.next24[:]
 	for h := 0; h < 24; h++ {
 		next24[h] = ctx.CIS.Intensity(now.Add(simtime.Duration(h) * simtime.Hour))
 	}
-	threshold, err := stats.Percentile(next24, pct)
+	threshold, err := stats.PercentileInPlace(next24, pct)
 	if err != nil {
 		threshold = ctx.CIS.Intensity(now)
 	}
 
 	w := ctx.Queue(job.Queue).MaxWait
-	var plan []simtime.Interval
+	plan := ctx.picked[:0]
 	remaining := job.Length
 	var paused simtime.Duration
 	cur := now
@@ -105,7 +121,8 @@ func (e Ecovisor) Decide(job workload.Job, now simtime.Time, ctx *Context) Decis
 		paused += pause
 		cur = slotEnd
 	}
-	return Decision{Plan: mergeAdjacent(plan)}
+	ctx.picked = plan
+	return Decision{Plan: mergedCopy(plan)}
 }
 
 // WaitAwhileEst is this implementation's realization of the paper's

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/carbonsched/gaia/internal/simtime"
@@ -38,7 +37,19 @@ type Event struct {
 	seq      int64
 	fn       func()
 	canceled bool
-	index    int // heap position, -1 when popped
+}
+
+// before is the engine's total event order: (time, priority, seq). seq is
+// unique, so the order is strict and the execution sequence is
+// independent of heap layout.
+func (ev *Event) before(o *Event) bool {
+	if ev.time != o.time {
+		return ev.time < o.time
+	}
+	if ev.priority != o.priority {
+		return ev.priority < o.priority
+	}
+	return ev.seq < o.seq
 }
 
 // Time returns the instant the event fires at.
@@ -57,6 +68,17 @@ type Engine struct {
 	events   eventHeap
 	seq      int64
 	executed int64
+	// slab chunk-allocates events: one bump-pointer allocation per 256
+	// Schedule calls instead of one per call. Popped events stay reachable
+	// through their chunk until the whole chunk is dropped — engine
+	// lifetimes are run-scoped, so the trade is bounded and worth it.
+	slab []Event
+	// stream holds pre-sorted events (ScheduleSorted) consumed in order
+	// and merged with the heap at pop time. Feeding the known-sorted bulk
+	// — a workload's arrivals — through the stream keeps the heap down to
+	// the in-flight events, shortening every sift.
+	stream    []*Event
+	streamPos int
 }
 
 // NewEngine creates an engine at time 0.
@@ -71,7 +93,7 @@ func (e *Engine) Executed() int64 { return e.executed }
 
 // Pending returns the number of events still queued (including canceled
 // ones not yet reaped).
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + len(e.stream) - e.streamPos }
 
 // Schedule enqueues fn to run at t with the given priority. It panics if t
 // is in the past — schedulers deriving a start time must clamp to now
@@ -83,15 +105,47 @@ func (e *Engine) Schedule(t simtime.Time, p Priority, fn func()) *Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{time: t, priority: p, seq: e.seq, fn: fn}
+	if len(e.slab) == 0 {
+		e.slab = make([]Event, 256)
+	}
+	ev := &e.slab[0]
+	e.slab = e.slab[1:]
+	*ev = Event{time: t, priority: p, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
+	return ev
+}
+
+// ScheduleSorted enqueues fn like Schedule, but onto the engine's
+// pre-sorted stream instead of the priority heap. Successive calls must
+// be in non-decreasing (time, priority) order — the natural order of a
+// workload trace's arrivals — and the engine merges stream and heap at
+// each step, so execution order is exactly what Schedule would produce.
+// It panics on an out-of-order call.
+func (e *Engine) ScheduleSorted(t simtime.Time, p Priority, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	if len(e.slab) == 0 {
+		e.slab = make([]Event, 256)
+	}
+	ev := &e.slab[0]
+	e.slab = e.slab[1:]
+	*ev = Event{time: t, priority: p, seq: e.seq, fn: fn}
+	e.seq++
+	if n := len(e.stream); n > 0 && ev.before(e.stream[n-1]) {
+		panic(fmt.Sprintf("sim: ScheduleSorted out of order at %v", t))
+	}
+	e.stream = append(e.stream, ev)
 	return ev
 }
 
 // Run executes events until the queue is empty.
 func (e *Engine) Run() {
-	for len(e.events) > 0 {
+	for e.Pending() > 0 {
 		e.step()
 	}
 }
@@ -99,7 +153,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline, then advances the clock
 // to deadline. Events scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline simtime.Time) {
-	for len(e.events) > 0 && e.events[0].time <= deadline {
+	for next := e.peek(); next != nil && next.time <= deadline; next = e.peek() {
 		e.step()
 	}
 	if e.now < deadline {
@@ -107,8 +161,33 @@ func (e *Engine) RunUntil(deadline simtime.Time) {
 	}
 }
 
+// peek returns the next event to fire without removing it, or nil.
+func (e *Engine) peek() *Event {
+	if e.streamPos >= len(e.stream) {
+		if len(e.events) == 0 {
+			return nil
+		}
+		return e.events[0]
+	}
+	if len(e.events) == 0 || e.stream[e.streamPos].before(e.events[0]) {
+		return e.stream[e.streamPos]
+	}
+	return e.events[0]
+}
+
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(*Event)
+	var ev *Event
+	if e.streamPos < len(e.stream) &&
+		(len(e.events) == 0 || e.stream[e.streamPos].before(e.events[0])) {
+		ev = e.stream[e.streamPos]
+		e.stream[e.streamPos] = nil
+		e.streamPos++
+		if e.streamPos == len(e.stream) {
+			e.stream, e.streamPos = e.stream[:0], 0
+		}
+	} else {
+		ev = e.events.pop()
+	}
 	e.now = ev.time
 	if ev.canceled {
 		return
@@ -117,40 +196,66 @@ func (e *Engine) step() {
 	ev.fn()
 }
 
-// eventHeap implements container/heap ordered by (time, priority, seq).
+// eventHeap is a hand-rolled 4-ary min-heap ordered by Event.before. It
+// replaces container/heap on the engine's hottest path: hole-based sifts
+// move each displaced element once instead of swapping pairs, the wider
+// fan-out shortens the sift-down walk, and the monomorphic comparisons
+// inline. Because the event order is strict, the pop sequence is
+// bit-identical to the container/heap implementation it replaced.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
+const heapArity = 4
 
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.time != b.time {
-		return a.time < b.time
+func (h *eventHeap) push(ev *Event) {
+	a := append(*h, ev)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !ev.before(a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
 	}
-	if a.priority != b.priority {
-		return a.priority < b.priority
+	a[i] = ev
+	*h = a
+}
+
+func (h *eventHeap) pop() *Event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = nil
+	a = a[:n]
+	*h = a
+	if n == 0 {
+		return top
 	}
-	return a.seq < b.seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	// Sift the former tail down from the root: promote the smallest child
+	// into the hole until the tail fits.
+	i := 0
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if a[j].before(a[m]) {
+				m = j
+			}
+		}
+		if !a[m].before(last) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = last
+	return top
 }

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// TestStreamMergesIdenticallyWithHeap feeds the same event set through two
+// engines — one with the pre-sorted bulk on the stream, one with everything
+// heaped — and requires the execution order to be identical. Callbacks
+// re-schedule follow-up events to exercise the merge while both sources are
+// non-empty.
+func TestStreamMergesIdenticallyWithHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	type arrival struct {
+		at simtime.Time
+		id int
+	}
+	arrivals := make([]arrival, 200)
+	at := simtime.Time(0)
+	for i := range arrivals {
+		at = at.Add(simtime.Duration(rng.Intn(50))) // non-decreasing, with ties
+		arrivals[i] = arrival{at: at, id: i}
+	}
+
+	run := func(useStream bool) []int {
+		var order []int
+		e := NewEngine()
+		record := func(id int) func() {
+			return func() {
+				order = append(order, id)
+				// Follow-up events land in the heap of both engines and
+				// interleave with later stream entries.
+				if id%3 == 0 {
+					e.Schedule(e.Now().Add(simtime.Duration(id%7)), PriorityStart, func() {
+						order = append(order, 10000+id)
+					})
+				}
+			}
+		}
+		for _, a := range arrivals {
+			if useStream {
+				e.ScheduleSorted(a.at, PriorityArrival, record(a.id))
+			} else {
+				e.Schedule(a.at, PriorityArrival, record(a.id))
+			}
+		}
+		e.Run()
+		return order
+	}
+
+	if got, want := run(true), run(false); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream execution order diverges from heap order:\n stream = %v\n heap   = %v", got, want)
+	}
+}
+
+func TestScheduleSortedPanicsOutOfOrder(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleSorted(10, PriorityArrival, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order ScheduleSorted did not panic")
+		}
+	}()
+	e.ScheduleSorted(5, PriorityArrival, func() {})
+}
+
+func TestScheduleSortedCancelAndPending(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	ev := e.ScheduleSorted(5, PriorityArrival, func() { fired++ })
+	e.ScheduleSorted(6, PriorityArrival, func() { fired++ })
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	ev.Cancel()
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (canceled stream event must not run)", fired)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("Executed = %d, want 1", e.Executed())
+	}
+}

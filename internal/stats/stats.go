@@ -96,6 +96,24 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	return percentileSorted(sorted, p), nil
 }
 
+// PercentileInPlace is Percentile without the defensive copy: xs is
+// sorted in place. For callers that own a reusable scratch buffer it
+// makes the percentile allocation-free; the interpolation arithmetic is
+// identical to Percentile's.
+func PercentileInPlace(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sort.Float64s(xs)
+	return percentileSorted(xs, p), nil
+}
+
 // percentileSorted computes a percentile over already-sorted data.
 func percentileSorted(sorted []float64, p float64) float64 {
 	n := len(sorted)
