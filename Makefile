@@ -2,14 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json figures figures-full examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-check figures figures-full examples clean
 
-all: build vet test race
+all: build lint test race bench-check
 
 build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Style gate: gofmt must have nothing to rewrite, go vet must be clean.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test:
@@ -28,12 +36,22 @@ cover:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
-# Machine-readable snapshot of the hot-path benchmarks (see cmd/gaia-bench).
-BENCH_JSON ?= BENCH_PR2.json
+# Machine-readable snapshot of the hot-path + scaling benchmarks (see
+# cmd/gaia-bench). BENCH_JSON names the snapshot this PR commits;
+# bench-check replays the same benchmarks and fails on >15% ns/op
+# regressions against it.
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_LABEL ?= pr3
+BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral
+# -count=3: gaia-bench keeps each benchmark's fastest sample, which damps
+# scheduler noise on shared machines enough for the 15% gate to be stable.
 bench-json:
-	$(GO) test -run='^$$' \
-		-bench='SchedulerThroughput|PolicyDecide|WaitAwhilePlan|CarbonIntegral' \
-		-benchmem . | $(GO) run ./cmd/gaia-bench -label pr2 -o $(BENCH_JSON)
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -count=3 \
+		-benchmem . | $(GO) run ./cmd/gaia-bench -label $(BENCH_LABEL) -o $(BENCH_JSON)
+
+bench-check:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -count=3 \
+		-benchmem . | $(GO) run ./cmd/gaia-bench -baseline $(BENCH_JSON)
 
 # Regenerate the evaluation tables (quick scale; figures-full = paper scale).
 figures:

@@ -8,6 +8,7 @@ package gaia
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -149,6 +150,56 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(jobs.Len()), "jobs/op")
+}
+
+// BenchmarkMillionJobRun is the scaling benchmark of the streaming
+// metrics engine: one simulated year, one million jobs, in both retention
+// modes. The sub-benchmark bytes/op is the headline number — streaming
+// must hold at least a 5x advantage (pinned by the regression check in
+// cmd/gaia-bench; the ratio is ~6x) — and ns/job plus post-GC live-heap
+// MB are reported alongside.
+func BenchmarkMillionJobRun(b *testing.B) {
+	const nJobs = 1_000_000
+	tr := carbon.RegionSAAU.GenerateYear(1)
+	jobs := workload.AlibabaPAI().GenerateByCount(rand.New(rand.NewSource(1)), nJobs, 350*simtime.Day)
+	for _, mode := range []struct {
+		name   string
+		retain bool
+	}{
+		{"streaming", false},
+		{"retained", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.Config{
+				Policy:     policy.CarbonTime{},
+				Carbon:     tr,
+				Reserved:   500,
+				RetainJobs: mode.retain,
+			}
+			var res interface{ JobCount() int }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := core.Run(cfg, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.JobCount() != nJobs {
+					b.Fatalf("completed %d jobs", r.JobCount())
+				}
+				res = r
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed())/float64(b.N)/nJobs, "ns/job")
+			// Live heap with the last result still referenced: the
+			// footprint a caller pays to keep the answer around.
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "live-heap-MB")
+			runtime.KeepAlive(res)
+		})
+	}
 }
 
 // BenchmarkCarbonIntegral measures the O(1) prefix-sum window integral.

@@ -4,13 +4,22 @@
 //
 // Usage:
 //
-//	go test -run='^$' -bench=. -benchmem ./... | gaia-bench -label pr2 -o BENCH.json
+//	go test -run='^$' -bench=. -benchmem ./... | gaia-bench -label pr3 -o BENCH.json
+//	go test -run='^$' -bench=. -benchmem ./... | gaia-bench -baseline BENCH_PR3.json
 //
 // The converter keeps the environment headers (goos/goarch/cpu), splits
 // the canonical ns/op, B/op and allocs/op columns into typed fields, and
 // collects any custom b.ReportMetric units (speedup, jobs/op, ...) into a
-// per-benchmark metrics map. No timestamps are recorded: reruns on the
-// same machine producing the same numbers yield byte-identical files.
+// per-benchmark metrics map. Each report is stamped with the provenance
+// of the build: git commit, Go version and GOMAXPROCS. No timestamps are
+// recorded: reruns on the same machine at the same commit producing the
+// same numbers yield byte-identical files.
+//
+// With -baseline the parsed report is additionally compared against a
+// previously committed report: any benchmark present in both whose ns/op
+// grew by more than -tolerance (default 15%) is flagged, and the command
+// exits nonzero — the CI gate against performance regressions sneaking
+// into a PR.
 package main
 
 import (
@@ -20,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -44,7 +55,14 @@ type Benchmark struct {
 
 // Report is the document gaia-bench emits.
 type Report struct {
-	Label      string      `json:"label,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Commit, GoVersion and MaxProcs record where the numbers came from:
+	// the git revision of the working tree (suffixed "-dirty" when it has
+	// uncommitted changes), the toolchain, and the parallelism the
+	// benchmarks ran at.
+	Commit     string      `json:"commit,omitempty"`
+	GoVersion  string      `json:"go_version,omitempty"`
+	MaxProcs   int         `json:"gomaxprocs,omitempty"`
 	GoOS       string      `json:"goos,omitempty"`
 	GoArch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
@@ -53,8 +71,10 @@ type Report struct {
 
 func main() {
 	var (
-		label = flag.String("label", "", "free-form label recorded in the report (e.g. a PR id)")
-		out   = flag.String("o", "", "output path (default stdout)")
+		label     = flag.String("label", "", "free-form label recorded in the report (e.g. a PR id)")
+		out       = flag.String("o", "", "output path (default stdout)")
+		baseline  = flag.String("baseline", "", "committed report to compare against; exit nonzero on ns/op regressions")
+		tolerance = flag.Float64("tolerance", 15, "ns/op growth in percent tolerated before a benchmark counts as regressed")
 	)
 	flag.Parse()
 
@@ -64,6 +84,9 @@ func main() {
 		os.Exit(1)
 	}
 	report.Label = *label
+	report.Commit = gitCommit()
+	report.GoVersion = runtime.Version()
+	report.MaxProcs = runtime.GOMAXPROCS(0)
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "gaia-bench: no benchmark lines on stdin")
 		os.Exit(1)
@@ -75,14 +98,83 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	if *out == "" && *baseline == "" {
 		os.Stdout.Write(buf)
-		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
-		os.Exit(1)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	if *baseline != "" {
+		regressed, err := compare(report, *baseline, *tolerance, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(2)
+		}
+	}
+}
+
+// gitCommit returns the working tree's revision, "-dirty"-suffixed when
+// there are uncommitted changes, or "" outside a git checkout.
+func gitCommit() string {
+	rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(rev))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
+
+// compare prints a per-benchmark delta table for every benchmark present
+// in both reports and returns whether any exceeded the tolerated ns/op
+// growth. Benchmarks only one side knows are listed but never gate.
+func compare(current *Report, baselinePath string, tolerancePct float64, w io.Writer) (bool, error) {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return false, fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Package+"."+b.Name] = b
+	}
+	regressed := false
+	fmt.Fprintf(w, "comparing against %s (label %q, commit %s), tolerance +%.0f%% ns/op\n",
+		baselinePath, base.Label, base.Commit, tolerancePct)
+	for _, b := range current.Benchmarks {
+		old, ok := baseByName[b.Package+"."+b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s %12.0f ns/op  (new, not in baseline)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		deltaPct := 0.0
+		if old.NsPerOp > 0 {
+			deltaPct = 100 * (b.NsPerOp - old.NsPerOp) / old.NsPerOp
+		}
+		verdict := "ok"
+		if deltaPct > tolerancePct {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
+			b.Name, old.NsPerOp, b.NsPerOp, deltaPct, verdict)
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: ns/op regressions beyond +%.0f%%\n", tolerancePct)
+	}
+	return regressed, nil
 }
 
 // parse reads go-test benchmark output: environment headers, one line per
@@ -111,7 +203,29 @@ func parse(r io.Reader) (*Report, error) {
 			report.Benchmarks = append(report.Benchmarks, b)
 		}
 	}
-	return report, sc.Err()
+	return dedupeFastest(report), sc.Err()
+}
+
+// dedupeFastest collapses repeated samples of one benchmark (go test
+// -count=N) into the fastest one — minimum ns/op is the standard
+// noise-robust estimator, and it keeps committed snapshots and regression
+// comparisons stable on shared machines.
+func dedupeFastest(report *Report) *Report {
+	seen := make(map[string]int)
+	out := report.Benchmarks[:0]
+	for _, b := range report.Benchmarks {
+		key := fmt.Sprintf("%s.%s-%d", b.Package, b.Name, b.Procs)
+		if i, ok := seen[key]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i] = b
+			}
+			continue
+		}
+		seen[key] = len(out)
+		out = append(out, b)
+	}
+	report.Benchmarks = out
+	return report
 }
 
 // parseLine splits one result line: name, iteration count, then value/unit

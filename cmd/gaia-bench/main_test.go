@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: example.com/mod
+cpu: Test CPU
+BenchmarkFast-8     	    1000	      1200 ns/op	     512 B/op	       3 allocs/op
+BenchmarkFast-8     	    1000	      1000 ns/op	     512 B/op	       3 allocs/op
+BenchmarkCustom     	      10	    500000 ns/op	        42.5 jobs/op
+PASS
+ok  	example.com/mod	1.234s
+`
+
+func TestParseAndDedupe(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GoOS != "linux" || report.CPU != "Test CPU" {
+		t.Errorf("headers = %q %q", report.GoOS, report.CPU)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2 after dedupe", len(report.Benchmarks))
+	}
+	fast := report.Benchmarks[0]
+	if fast.Name != "Fast" || fast.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", fast.Name, fast.Procs)
+	}
+	// -count runs collapse to the fastest sample.
+	if fast.NsPerOp != 1000 || fast.BytesPerOp != 512 || fast.AllocsPerOp != 3 {
+		t.Errorf("fast = %+v", fast)
+	}
+	custom := report.Benchmarks[1]
+	if custom.Metrics["jobs/op"] != 42.5 {
+		t.Errorf("custom metrics = %v", custom.Metrics)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := `{"label":"old","benchmarks":[
+		{"name":"Fast","package":"example.com/mod","ns_per_op":1000},
+		{"name":"Custom","package":"example.com/mod","ns_per_op":500000}]}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	regressed, err := compare(current, path, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("flat numbers flagged as regression:\n%s", out.String())
+	}
+
+	// Inflate one benchmark past the tolerance.
+	current.Benchmarks[0].NsPerOp = 1200
+	out.Reset()
+	regressed, err = compare(current, path, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("+20%% ns/op not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("report lacks REGRESSED marker:\n%s", out.String())
+	}
+
+	// A benchmark missing from the baseline never gates.
+	current.Benchmarks[0].NsPerOp = 1000
+	current.Benchmarks[0].Name = "Brand-New"
+	out.Reset()
+	regressed, err = compare(current, path, 15, &out)
+	if err != nil || regressed {
+		t.Errorf("new benchmark gated: regressed=%v err=%v", regressed, err)
+	}
+}

@@ -127,6 +127,9 @@ func run(args []string) error {
 		WaitLong:           wLong,
 		Horizon:            horizon,
 		Seed:               *seed,
+		// Per-job records are only needed when they are exported; plain
+		// summary runs stream into the aggregate accumulator.
+		RetainJobs: *out != "" || *dbPath != "",
 	}
 	res, err := core.Run(cfg, jobsTr)
 	if err != nil {
@@ -134,7 +137,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("config:   %s\n", res.Label)
-	fmt.Printf("region:   %s   workload: %s (%d jobs)\n", res.Region, res.Workload, len(res.Jobs))
+	fmt.Printf("region:   %s   workload: %s (%d jobs)\n", res.Region, res.Workload, res.JobCount())
 	fmt.Printf("carbon:   %.3f kg (baseline %.3f kg, savings %.1f%%)\n",
 		res.TotalCarbonKg(), res.BaselineCarbon()/1000, 100*res.CarbonSavingsFraction())
 	fmt.Printf("cost:     $%.2f (reserved upfront $%.2f + usage $%.2f)\n",
@@ -160,7 +163,7 @@ func run(args []string) error {
 		if err := appendToDB(*dbPath, res); err != nil {
 			return err
 		}
-		fmt.Printf("appended %d records to %s\n", len(res.Jobs), *dbPath)
+		fmt.Printf("appended %d records to %s\n", res.JobCount(), *dbPath)
 	}
 	return nil
 }

@@ -45,10 +45,7 @@ func main() {
 				log.Fatal(err)
 			}
 			rel := res.CompareTo(base)
-			var wasted float64
-			for _, j := range res.Jobs {
-				wasted += j.WastedCPUHours
-			}
+			wasted := res.TotalWastedCPUHours()
 			fmt.Printf("%7.0f%%  %3dh  %10.3f  %12.3f  %9d  %10.1f\n",
 				100*evict, jmaxH, rel.Cost, rel.Carbon, res.TotalEvictions(), wasted)
 		}

@@ -58,7 +58,9 @@ func (db *DB) Len() int { return len(db.records) }
 func (db *DB) Append(recs ...Record) { db.records = append(db.records, recs...) }
 
 // AppendResult converts a simulator result into accounting rows and
-// appends them under the result's label.
+// appends them under the result's label. It consumes the per-job records,
+// so the run must have been configured with core.Config.RetainJobs; a
+// streaming-mode result contributes no rows.
 func (db *DB) AppendResult(res *metrics.Result) {
 	for _, j := range res.Jobs {
 		db.Append(Record{

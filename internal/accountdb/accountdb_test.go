@@ -130,7 +130,7 @@ func TestAppendResultFromSimulation(t *testing.T) {
 		{Arrival: 0, Length: simtime.Hour, CPUs: 1, User: "alice"},
 		{Arrival: 10, Length: 2 * simtime.Hour, CPUs: 2, User: "bob"},
 	})
-	res, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: tr}, jobs)
+	res, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: tr, RetainJobs: true}, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/cloud"
@@ -102,9 +103,29 @@ type Config struct {
 	// from the trace). Used for estimate-quality sensitivity studies.
 	AvgLengthOverride map[workload.Queue]simtime.Duration
 
+	// RetainJobs materializes the full per-job JobResult records
+	// (including execution segments) in Result.Jobs. By default the
+	// scheduler streams each finished job into the metrics accumulator
+	// and retains nothing per job; retention is the escape hatch for
+	// per-job consumers — CSV detail export, the accounting DB, and
+	// record-level tests. Every aggregate is answered identically in
+	// both modes.
+	RetainJobs bool
+
 	// Seed drives the spot eviction process.
 	Seed int64
 }
+
+// forceRetainJobs globally overrides Config.RetainJobs for differential
+// tests that re-run whole figure suites in retained mode without
+// threading a flag through every experiment.
+var forceRetainJobs atomic.Bool
+
+// ForceRetainJobs makes every subsequent Run retain per-job records as if
+// Config.RetainJobs were set (v=false restores the configs' own flags).
+// It exists for the retained-vs-streaming differential tests; production
+// callers should set Config.RetainJobs instead.
+func ForceRetainJobs(v bool) { forceRetainJobs.Store(v) }
 
 // QueueSpec configures one job-length queue: the inclusive length bound
 // that routes jobs into it and the maximum waiting time W the scheduler
@@ -163,6 +184,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval > 0 && c.CheckpointOverhead == 0 {
 		c.CheckpointOverhead = 2 * simtime.Minute
+	}
+	if forceRetainJobs.Load() {
+		c.RetainJobs = true
 	}
 	if c.Label == "" {
 		c.Label = c.deriveLabel()

@@ -36,24 +36,29 @@ func TestRunIdenticalWithFastPathsDefeated(t *testing.T) {
 			Policy: policy.CarbonTime{}, Carbon: tr,
 			Reserved: 30, WorkConserving: true,
 			Pricing: testPricing, Power: testPower,
+			RetainJobs: true,
 		}},
 		{"lowestwindow-spot", Config{
 			Policy: policy.LowestWindow{}, Carbon: tr,
 			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05, Seed: 11,
 			Pricing: testPricing, Power: testPower,
+			RetainJobs: true,
 		}},
 		{"lowestslot", Config{
 			Policy: policy.LowestSlot{}, Carbon: tr,
 			Pricing: testPricing, Power: testPower,
+			RetainJobs: true,
 		}},
 		{"waitawhile", Config{
 			Policy: policy.WaitAwhile{}, Carbon: tr,
 			Reserved: 20,
 			Pricing:  testPricing, Power: testPower,
+			RetainJobs: true,
 		}},
 		{"ecovisor", Config{
 			Policy: policy.Ecovisor{}, Carbon: tr,
 			Pricing: testPricing, Power: testPower,
+			RetainJobs: true,
 		}},
 	}
 	for _, tc := range cases {

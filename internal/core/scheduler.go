@@ -13,10 +13,17 @@ import (
 )
 
 // Run simulates the configured GAIA cluster over the workload trace and
-// returns per-job and cluster-level accounting. The input trace is never
-// modified: an already-normalized trace (the output of workload.NewTrace)
-// is shared as-is, so many concurrent Runs over the same trace cost no
-// per-run copies. Runs are deterministic for a given (Config, trace).
+// returns cluster-level accounting. The input trace is never modified: an
+// already-normalized trace (the output of workload.NewTrace) is shared
+// as-is, so many concurrent Runs over the same trace cost no per-run
+// copies. Runs are deterministic for a given (Config, trace).
+//
+// By default the scheduler streams each finished job into a metrics
+// accumulator and keeps no per-job state beyond the jobs in flight, so
+// memory is column-sized (tens of bytes per job) regardless of trace
+// length; Config.RetainJobs additionally materializes the classic
+// Result.Jobs records for per-job consumers. Aggregates are identical in
+// both modes.
 func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -47,23 +54,31 @@ func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 		engine: sim.NewEngine(),
 		pool:   pool,
 		evict:  evict,
+		acc:    metrics.NewAccumulator(len(trace.Jobs), cfg.Horizon),
+	}
+	if cfg.RetainJobs {
 		// A normalized trace numbers jobs 0..n-1, so each job's record
 		// lives at results[job.ID]: no append growth, no final sort.
-		results: make([]metrics.JobResult, len(trace.Jobs)),
+		s.results = make([]metrics.JobResult, len(trace.Jobs))
 	}
-	for _, job := range trace.Jobs {
-		job := job
-		// Queue classification happens on the per-event copy of the job,
-		// never on the (shared, immutable) trace. Arrivals ride the
-		// engine's sorted stream — the normalized trace is already in
-		// arrival order — so the event heap only ever holds in-flight
-		// starts and finishes.
-		job.Queue = workload.ClassifyLength(job.Length, bounds)
-		s.engine.ScheduleSorted(job.Arrival, sim.PriorityArrival, func() { s.arrive(job) })
-	}
+	// The scheduler's event loop is allocation-free in steady state: the
+	// normalized trace's arrivals feed straight from the trace slice (no
+	// materialized arrival events), in-flight jobs ride pooled jobState
+	// action records, and fired events recycle. Queue classification
+	// happens on the per-event copy of the job, never on the (shared,
+	// immutable) trace.
+	s.engine.SetRecycle(true)
+	s.engine.SetSource(len(trace.Jobs),
+		func(i int) simtime.Time { return trace.Jobs[i].Arrival },
+		sim.PriorityArrival,
+		func(i int) {
+			job := trace.Jobs[i]
+			job.Queue = workload.ClassifyLength(job.Length, bounds)
+			s.arrive(job)
+		})
 	s.engine.Run()
 
-	return &metrics.Result{
+	res = &metrics.Result{
 		Label:    cfg.Label,
 		Region:   cfg.Carbon.Region(),
 		Workload: trace.Name,
@@ -71,7 +86,9 @@ func Run(cfg Config, jobs *workload.Trace) (res *metrics.Result, err error) {
 		Horizon:  cfg.Horizon,
 		Pricing:  cfg.Pricing,
 		Jobs:     s.results,
-	}, nil
+	}
+	res.AttachAccumulator(s.acc)
+	return res, nil
 }
 
 // normalizedTrace returns jobs itself when it already satisfies the
@@ -96,13 +113,83 @@ type scheduler struct {
 	pool    *cloud.ReservedPool
 	evict   *cloud.EvictionModel
 	waiting waitQueue
+	acc     *metrics.Accumulator
+	// results holds the retained per-job records (RetainJobs only).
 	results []metrics.JobResult
+	// free pools jobState records between finish and the next arrival, so
+	// per-job state allocation is bounded by the peak in-flight count.
+	free []*jobState
+}
+
+// jobState phases dispatched by Fire.
+const (
+	phaseStart uint8 = iota
+	phasePlannedStart
+	phaseFinish
+)
+
+// jobState carries one in-flight job through its scheduled events. It is
+// the engine Action for the hot start/finish path (no closures, and the
+// record recycles through scheduler.free when the job completes), the
+// work-conservation waiter entry, and — in streaming mode — the scratch
+// storage for the job's accounting record.
+type jobState struct {
+	s     *scheduler
+	job   workload.Job
+	rec   *metrics.JobResult
+	phase uint8
+	// reserved/end parameterize the phaseFinish action.
+	reserved int
+	end      simtime.Time
+	// scratch is the streaming-mode accounting record (rec points here);
+	// with RetainJobs rec points into scheduler.results instead.
+	scratch metrics.JobResult
+	// Work-conservation waiter state: the policy-chosen start event and
+	// the position in the planned-start heap.
+	plannedStart simtime.Time
+	startEvent   *sim.Event
+	index        int
+}
+
+// Fire dispatches the jobState's scheduled phase.
+func (js *jobState) Fire() {
+	switch js.phase {
+	case phaseStart:
+		js.s.startJob(js)
+	case phasePlannedStart:
+		js.s.startPlanned(js)
+	case phaseFinish:
+		js.s.pool.Release(js.reserved)
+		js.s.finish(js, js.end)
+	}
+}
+
+// newJobState takes a pooled (or fresh) jobState for an arriving job and
+// points its accounting record at the retained slice or the embedded
+// scratch record.
+func (s *scheduler) newJobState(job workload.Job) *jobState {
+	var js *jobState
+	if n := len(s.free); n > 0 {
+		js = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*js = jobState{s: s, job: job}
+	} else {
+		js = &jobState{s: s, job: job}
+	}
+	if s.results != nil {
+		js.rec = &s.results[job.ID]
+	} else {
+		js.rec = &js.scratch
+	}
+	return js
 }
 
 // arrive handles a job submission.
 func (s *scheduler) arrive(job workload.Job) {
 	now := s.engine.Now()
-	rec := &s.results[job.ID]
+	js := s.newJobState(job)
+	rec := js.rec
 	rec.JobID = job.ID
 	rec.Queue = job.Queue
 	rec.User = job.User
@@ -114,14 +201,14 @@ func (s *scheduler) arrive(job workload.Job) {
 	}, job.CPUs)
 
 	if s.spotEligible(job) {
-		s.scheduleSpot(job, rec)
+		s.scheduleSpot(js)
 		return
 	}
 
 	// RES-First work conservation: run immediately when the job fits in
 	// idle reserved capacity — those units are pre-paid either way.
 	if s.cfg.WorkConserving && s.pool.Idle() >= job.CPUs {
-		s.startJob(job, rec)
+		s.startJob(js)
 		return
 	}
 
@@ -134,17 +221,19 @@ func (s *scheduler) arrive(job workload.Job) {
 		if s.cfg.WorkConserving {
 			panic(fmt.Sprintf("policy %s: suspend-resume plans cannot be work-conserving", s.cfg.Policy.Name()))
 		}
-		s.schedulePlan(job, rec, d.Plan)
+		s.schedulePlan(js, d.Plan)
 		return
 	}
 
 	if s.cfg.WorkConserving {
-		w := &waiter{job: job, rec: rec, plannedStart: d.Start}
-		w.startEvent = s.engine.Schedule(d.Start, sim.PriorityStart, func() { s.startPlanned(w) })
-		heap.Push(&s.waiting, w)
+		js.phase = phasePlannedStart
+		js.plannedStart = d.Start
+		js.startEvent = s.engine.ScheduleAction(d.Start, sim.PriorityStart, js)
+		heap.Push(&s.waiting, js)
 		return
 	}
-	s.engine.Schedule(d.Start, sim.PriorityStart, func() { s.startJob(job, rec) })
+	js.phase = phaseStart
+	s.engine.ScheduleAction(d.Start, sim.PriorityStart, js)
 }
 
 // spotEligible reports whether the job is routed to spot capacity.
@@ -154,25 +243,26 @@ func (s *scheduler) spotEligible(job workload.Job) bool {
 
 // startPlanned fires when a waiting job's carbon-aware start time arrives
 // without a reserved unit having freed up first.
-func (s *scheduler) startPlanned(w *waiter) {
-	heap.Remove(&s.waiting, w.index)
-	s.startJob(w.job, w.rec)
+func (s *scheduler) startPlanned(js *jobState) {
+	heap.Remove(&s.waiting, js.index)
+	s.startJob(js)
 }
 
 // startJob begins uninterruptible execution now, filling from idle
 // reserved units first and on-demand for the remainder (the resource
-// manager's placement rule, §4.1).
-func (s *scheduler) startJob(job workload.Job, rec *metrics.JobResult) {
+// manager's placement rule, §4.1). The same jobState record becomes the
+// finish action — no allocation on the hot path.
+func (s *scheduler) startJob(js *jobState) {
 	now := s.engine.Now()
-	reserved := s.pool.Acquire(job.CPUs)
-	onDemand := job.CPUs - reserved
-	iv := simtime.Interval{Start: now, End: now.Add(job.Length)}
-	rec.Start = now
-	s.account(rec, iv, reserved, onDemand, 0, false)
-	s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
-		s.pool.Release(reserved)
-		s.finish(rec, iv.End)
-	})
+	reserved := s.pool.Acquire(js.job.CPUs)
+	onDemand := js.job.CPUs - reserved
+	iv := simtime.Interval{Start: now, End: now.Add(js.job.Length)}
+	js.rec.Start = now
+	s.account(js.rec, iv, reserved, onDemand, 0, false)
+	js.phase = phaseFinish
+	js.reserved = reserved
+	js.end = iv.End
+	s.engine.ScheduleAction(iv.End, sim.PriorityFinish, js)
 }
 
 // normalizePlan delegates to policy.NormalizePlan (shared with the
@@ -183,20 +273,21 @@ func normalizePlan(plan []simtime.Interval, length simtime.Duration) []simtime.I
 
 // schedulePlan executes a suspend-resume plan: each interval independently
 // claims reserved-first capacity at its start and releases it at its end.
-func (s *scheduler) schedulePlan(job workload.Job, rec *metrics.JobResult, plan []simtime.Interval) {
-	plan = normalizePlan(plan, job.Length)
+func (s *scheduler) schedulePlan(js *jobState, plan []simtime.Interval) {
+	plan = normalizePlan(plan, js.job.Length)
+	rec := js.rec
 	rec.Start = plan[0].Start
 	last := plan[len(plan)-1].End
 	for _, iv := range plan {
 		iv := iv
 		s.engine.Schedule(iv.Start, sim.PriorityStart, func() {
-			reserved := s.pool.Acquire(job.CPUs)
-			onDemand := job.CPUs - reserved
+			reserved := s.pool.Acquire(js.job.CPUs)
+			onDemand := js.job.CPUs - reserved
 			s.account(rec, iv, reserved, onDemand, 0, false)
 			s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
 				s.pool.Release(reserved)
 				if iv.End == last {
-					s.finish(rec, last)
+					s.finish(js, last)
 				}
 			})
 		})
@@ -208,8 +299,10 @@ func (s *scheduler) schedulePlan(job workload.Job, rec *metrics.JobResult, plan 
 // all progress is lost (the paper's assumption) and the job restarts
 // immediately on on-demand capacity — falling back to idle reserved units
 // first under Spot-RES.
-func (s *scheduler) scheduleSpot(job workload.Job, rec *metrics.JobResult) {
+func (s *scheduler) scheduleSpot(js *jobState) {
 	now := s.engine.Now()
+	job := js.job
+	rec := js.rec
 	d := s.cfg.Policy.Decide(job, now, s.ctx)
 	if err := d.Validate(job, now); err != nil {
 		panic(fmt.Sprintf("policy %s: %v", s.cfg.Policy.Name(), err))
@@ -222,7 +315,7 @@ func (s *scheduler) scheduleSpot(job workload.Job, rec *metrics.JobResult) {
 	}
 
 	if s.cfg.CheckpointInterval > 0 && len(plan) == 1 {
-		s.scheduleCheckpointedSpot(job, rec, plan[0].Start)
+		s.scheduleCheckpointedSpot(js, plan[0].Start)
 		return
 	}
 
@@ -245,7 +338,7 @@ func (s *scheduler) scheduleSpot(job workload.Job, rec *metrics.JobResult) {
 			s.engine.Schedule(iv.Start, sim.PriorityStart, func() {
 				s.account(rec, iv, 0, 0, job.CPUs, false)
 				if iv.End == last {
-					s.engine.Schedule(last, sim.PriorityFinish, func() { s.finish(rec, last) })
+					s.engine.Schedule(last, sim.PriorityFinish, func() { s.finish(js, last) })
 				}
 			})
 		}
@@ -273,7 +366,7 @@ func (s *scheduler) scheduleSpot(job workload.Job, rec *metrics.JobResult) {
 		s.account(rec, iv, reserved, onDemand, 0, false)
 		s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
 			s.pool.Release(reserved)
-			s.finish(rec, iv.End)
+			s.finish(js, iv.End)
 		})
 	})
 }
@@ -283,7 +376,9 @@ func (s *scheduler) scheduleSpot(job workload.Job, rec *metrics.JobResult) {
 // CheckpointOverhead of extra runtime). An eviction loses only the
 // progress since the last completed checkpoint; the remainder resumes on
 // on-demand capacity (reserved-first), checkpoint-free.
-func (s *scheduler) scheduleCheckpointedSpot(job workload.Job, rec *metrics.JobResult, start simtime.Time) {
+func (s *scheduler) scheduleCheckpointedSpot(js *jobState, start simtime.Time) {
+	job := js.job
+	rec := js.rec
 	ckInt := s.cfg.CheckpointInterval
 	ckOver := s.cfg.CheckpointOverhead
 	// Checkpoints strictly inside the job (none at completion).
@@ -299,7 +394,7 @@ func (s *scheduler) scheduleCheckpointedSpot(job workload.Job, rec *metrics.JobR
 		s.engine.Schedule(start, sim.PriorityStart, func() {
 			s.account(rec, iv, 0, 0, job.CPUs, false)
 		})
-		s.engine.Schedule(iv.End, sim.PriorityFinish, func() { s.finish(rec, iv.End) })
+		s.engine.Schedule(iv.End, sim.PriorityFinish, func() { s.finish(js, iv.End) })
 		return
 	}
 
@@ -327,16 +422,20 @@ func (s *scheduler) scheduleCheckpointedSpot(job workload.Job, rec *metrics.JobR
 		s.account(rec, iv, reserved, onDemand, 0, false)
 		s.engine.Schedule(iv.End, sim.PriorityFinish, func() {
 			s.pool.Release(reserved)
-			s.finish(rec, iv.End)
+			s.finish(js, iv.End)
 		})
 	})
 }
 
-// finish closes a job's record and, under work conservation, hands freed
+// finish closes a job's record, folds it into the streaming accumulator,
+// recycles the jobState, and — under work conservation — hands freed
 // reserved units to the earliest-planned waiting jobs.
-func (s *scheduler) finish(rec *metrics.JobResult, at simtime.Time) {
+func (s *scheduler) finish(js *jobState, at simtime.Time) {
+	rec := js.rec
 	rec.Finish = at
 	rec.Waiting = at.Sub(rec.Arrival) - rec.Length
+	s.acc.AddJob(rec)
+	s.free = append(s.free, js)
 	if s.cfg.WorkConserving {
 		s.drainWaiting()
 	}
@@ -354,7 +453,7 @@ func (s *scheduler) drainWaiting() {
 		}
 		heap.Pop(&s.waiting)
 		w.startEvent.Cancel()
-		s.startJob(w.job, w.rec)
+		s.startJob(w)
 	}
 }
 
@@ -364,7 +463,10 @@ func (s *scheduler) carbonOf(iv simtime.Interval, cpus int) float64 {
 	return s.cfg.Power.Carbon(s.cfg.Carbon.Integral(iv), cpus)
 }
 
-// account books one execution interval split across purchase options.
+// account books one execution interval split across purchase options: the
+// scalar totals go to the job record, the usage bins stream into the
+// accumulator, and the per-job Segment is materialized only when records
+// are retained.
 func (s *scheduler) account(rec *metrics.JobResult, iv simtime.Interval, reserved, onDemand, spot int, wasted bool) {
 	hours := iv.Len().Hours()
 	carbonG := s.carbonOf(iv, reserved+onDemand+spot)
@@ -376,13 +478,16 @@ func (s *scheduler) account(rec *metrics.JobResult, iv simtime.Interval, reserve
 	rec.CPUHours[cloud.Reserved] += float64(reserved) * hours
 	rec.CPUHours[cloud.OnDemand] += float64(onDemand) * hours
 	rec.CPUHours[cloud.Spot] += float64(spot) * hours
-	rec.Segments = append(rec.Segments, metrics.Segment{
-		Interval: iv,
-		Reserved: reserved,
-		OnDemand: onDemand,
-		Spot:     spot,
-		Wasted:   wasted,
-	})
+	s.acc.AddUsage(iv, reserved, onDemand, spot)
+	if s.results != nil {
+		rec.Segments = append(rec.Segments, metrics.Segment{
+			Interval: iv,
+			Reserved: reserved,
+			OnDemand: onDemand,
+			Spot:     spot,
+			Wasted:   wasted,
+		})
+	}
 	if wasted {
 		rec.WastedCPUHours += float64(reserved+onDemand+spot) * hours
 		rec.WastedCarbon += carbonG
@@ -390,20 +495,9 @@ func (s *scheduler) account(rec *metrics.JobResult, iv simtime.Interval, reserve
 	}
 }
 
-// waiter is a job registered for RES-First work conservation: it holds
-// both its policy-chosen start event and its queue position ordered by
-// that planned start.
-type waiter struct {
-	job          workload.Job
-	rec          *metrics.JobResult
-	plannedStart simtime.Time
-	startEvent   *sim.Event
-	index        int
-}
-
-// waitQueue is a heap of waiters ordered by planned start, then job ID for
-// determinism.
-type waitQueue []*waiter
+// waitQueue is a heap of work-conservation waiters ordered by planned
+// start, then job ID for determinism.
+type waitQueue []*jobState
 
 func (q waitQueue) Len() int { return len(q) }
 
@@ -421,7 +515,7 @@ func (q waitQueue) Swap(i, j int) {
 }
 
 func (q *waitQueue) Push(x any) {
-	w := x.(*waiter)
+	w := x.(*jobState)
 	w.index = len(*q)
 	*q = append(*q, w)
 }

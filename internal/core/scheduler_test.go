@@ -33,6 +33,9 @@ func baseConfig(tr *carbon.Trace, p policy.Policy) Config {
 		Carbon:  tr,
 		Pricing: testPricing,
 		Power:   testPower,
+		// The hand-checked tests assert on individual job records, which
+		// only exist when retention is on.
+		RetainJobs: true,
 	}
 }
 

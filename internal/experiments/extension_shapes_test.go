@@ -35,11 +35,7 @@ func TestShapeCheckpointReducesWaste(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var wasted float64
-		for _, j := range res.Jobs {
-			wasted += j.WastedCPUHours
-		}
-		return wasted
+		return res.TotalWastedCPUHours()
 	}
 	none := run(0)
 	ckpt := run(30 * simtime.Minute)

@@ -146,11 +146,7 @@ func runFig14(scale Scale) (fmt.Stringer, error) {
 	base := results[0]
 	perHour := func(res *metrics.Result) (gPerHour, savingPct float64) {
 		savedG := base.TotalCarbon() - res.TotalCarbon()
-		var waitingHours float64
-		for _, j := range res.Jobs {
-			waitingHours += j.Waiting.Hours()
-		}
-		return safeDiv(savedG, waitingHours), 100 * (1 - res.TotalCarbon()/base.TotalCarbon())
+		return safeDiv(savedG, res.TotalWaitingHours()), 100 * (1 - res.TotalCarbon()/base.TotalCarbon())
 	}
 
 	idx := 1

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/core"
+)
+
+// TestFiguresIdenticalAcrossRetentionModes pins the streaming metrics
+// engine against the figure suite: every registered experiment rendered
+// with the default streaming scheduler must be byte-identical to the same
+// experiment with full per-job retention forced on. This is the contract
+// that lets the scheduler drop per-job records by default — no figure can
+// tell the modes apart.
+func TestFiguresIdenticalAcrossRetentionModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick-scale figure suite twice")
+	}
+	defer core.ForceRetainJobs(false)
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			core.ForceRetainJobs(false)
+			out, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("streaming: %v", err)
+			}
+			streaming := out.String()
+
+			core.ForceRetainJobs(true)
+			out, err = e.Run(Quick)
+			core.ForceRetainJobs(false)
+			if err != nil {
+				t.Fatalf("retained: %v", err)
+			}
+			if retained := out.String(); retained != streaming {
+				t.Errorf("figure differs between modes:\n--- streaming ---\n%s\n--- retained ---\n%s",
+					streaming, retained)
+			}
+		})
+	}
+}

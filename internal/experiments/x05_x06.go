@@ -61,10 +61,7 @@ func runX05Checkpoint(scale Scale) (fmt.Stringer, error) {
 			res := results[idx]
 			idx++
 			rel := res.CompareTo(base)
-			var wasted float64
-			for _, j := range res.Jobs {
-				wasted += j.WastedCPUHours
-			}
+			wasted := res.TotalWastedCPUHours()
 			label := "none"
 			if interval > 0 {
 				label = interval.String()

@@ -71,10 +71,8 @@ func (r *Result) MeanWaiting() simtime.Duration {
 	var total simtime.Duration
 	var n int
 	for _, res := range r.PerRegion {
-		for _, j := range res.Jobs {
-			total += j.Waiting
-			n++
-		}
+		total += res.TotalWaiting()
+		n += res.JobCount()
 	}
 	if n == 0 {
 		return 0
@@ -87,8 +85,8 @@ func (r *Result) JobShare() []float64 {
 	shares := make([]float64, len(r.PerRegion))
 	var n int
 	for i, res := range r.PerRegion {
-		shares[i] = float64(len(res.Jobs))
-		n += len(res.Jobs)
+		shares[i] = float64(res.JobCount())
+		n += res.JobCount()
 	}
 	if n > 0 {
 		for i := range shares {

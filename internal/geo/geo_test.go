@@ -52,7 +52,7 @@ func TestAllJobsGoToCleanRegion(t *testing.T) {
 	if shares[0] != 0 || shares[1] != 1 {
 		t.Errorf("shares = %v", shares)
 	}
-	if len(res.PerRegion[0].Jobs) != 0 || len(res.PerRegion[1].Jobs) != 2 {
+	if res.PerRegion[0].JobCount() != 0 || res.PerRegion[1].JobCount() != 2 {
 		t.Error("per-region job counts wrong")
 	}
 }
@@ -104,7 +104,7 @@ func TestPlanPoliciesSupported(t *testing.T) {
 	}
 	total := 0
 	for _, r := range res.PerRegion {
-		total += len(r.Jobs)
+		total += r.JobCount()
 	}
 	if total != 2 {
 		t.Errorf("jobs executed = %d", total)

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Accumulator is the streaming metrics sink the scheduler feeds as jobs
+// execute. It keeps, instead of per-job records:
+//
+//   - compact columnar (SoA) arrays indexed by job ID — waiting, length,
+//     carbon, baseline carbon, usage cost, queue tag — the exact inputs of
+//     the percentile, CDF and total queries, stored in ID order so every
+//     derived float64 sum runs in the same deterministic order as a scan
+//     over retained JobResult records and is bit-identical to it;
+//   - fused scalar totals folded in as each job finishes (CPU·hours by
+//     option, eviction counts, wasted work);
+//   - hourly usage bins in integer minute-CPU units, an online replacement
+//     for replaying every execution segment (UsageSeries): per-hour sums
+//     of small integers are exact in float64, so the binned series equals
+//     the segment replay bit for bit.
+//
+// At ~41 bytes per job this is what lets one binary serve million-job
+// traces; full JobResult retention (~230 bytes per job plus segment
+// slices) stays available behind core's RetainJobs flag.
+type Accumulator struct {
+	waitings  []simtime.Duration
+	lengths   []simtime.Duration
+	carbons   []float64
+	baselines []float64
+	costs     []float64
+	queues    []uint8
+
+	cpuHours                              [3]float64
+	evictions                             int
+	wastedCPUHours, wastedCarbon, wastedC float64
+
+	// usage[option][hour] holds CPU·minutes of allocation in that hour.
+	// The bins grow on demand past the initial horizon so execution
+	// spilling over the accounting horizon is never silently dropped.
+	usage [3][]int64
+}
+
+// NewAccumulator sizes the columns for a trace of n jobs (IDs 0..n-1) and
+// the usage bins for the given accounting horizon.
+func NewAccumulator(n int, horizon simtime.Duration) *Accumulator {
+	a := &Accumulator{
+		waitings:  make([]simtime.Duration, n),
+		lengths:   make([]simtime.Duration, n),
+		carbons:   make([]float64, n),
+		baselines: make([]float64, n),
+		costs:     make([]float64, n),
+		queues:    make([]uint8, n),
+	}
+	slots := int(horizon / simtime.Hour)
+	if slots < 0 {
+		slots = 0
+	}
+	for o := range a.usage {
+		a.usage[o] = make([]int64, slots)
+	}
+	return a
+}
+
+// JobCount returns the number of jobs the columns cover.
+func (a *Accumulator) JobCount() int { return len(a.waitings) }
+
+// AddJob folds one finished job's record into the columns and totals. It
+// must be called exactly once per job, with rec.JobID in [0, n).
+func (a *Accumulator) AddJob(rec *JobResult) {
+	i := rec.JobID
+	a.waitings[i] = rec.Waiting
+	a.lengths[i] = rec.Length
+	a.carbons[i] = rec.Carbon
+	a.baselines[i] = rec.BaselineCarbon
+	a.costs[i] = rec.UsageCost
+	a.queues[i] = uint8(rec.Queue)
+	for o := range a.cpuHours {
+		a.cpuHours[o] += rec.CPUHours[o]
+	}
+	a.evictions += rec.Evictions
+	a.wastedCPUHours += rec.WastedCPUHours
+	a.wastedCarbon += rec.WastedCarbon
+	a.wastedC += rec.WastedCost
+}
+
+// AddUsage bins one execution interval's allocation per purchase option —
+// the streaming equivalent of appending a Segment. Units are CPU·minutes,
+// so the hourly mean is an exact integer division by 60 at query time.
+func (a *Accumulator) AddUsage(iv simtime.Interval, reserved, onDemand, spot int) {
+	s, e := int64(iv.Start), int64(iv.End)
+	if s < 0 {
+		s = 0
+	}
+	if s >= e {
+		return
+	}
+	lastHour := int((e - 1) / 60)
+	if need := lastHour + 1; need > len(a.usage[0]) {
+		for o := range a.usage {
+			a.usage[o] = append(a.usage[o], make([]int64, need-len(a.usage[o]))...)
+		}
+	}
+	var byOption [3]int
+	byOption[cloud.Reserved] = reserved
+	byOption[cloud.OnDemand] = onDemand
+	byOption[cloud.Spot] = spot
+	for o, units := range byOption {
+		if units == 0 {
+			continue
+		}
+		for h := int(s / 60); h <= lastHour; h++ {
+			lo, hi := int64(h)*60, int64(h+1)*60
+			if lo < s {
+				lo = s
+			}
+			if hi > e {
+				hi = e
+			}
+			a.usage[o][h] += int64(units) * (hi - lo)
+		}
+	}
+}
+
+// Queue returns job i's queue tag.
+func (a *Accumulator) Queue(i int) workload.Queue { return workload.Queue(a.queues[i]) }

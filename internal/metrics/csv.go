@@ -9,7 +9,9 @@ import (
 
 // WriteDetailsCSV writes one row per job — the equivalent of the paper
 // artifact's "details file" — with timing, carbon, cost and placement
-// columns.
+// columns. It consumes the per-job records, so the run must have been
+// configured with core.Config.RetainJobs; a streaming-mode result writes
+// only the header.
 func (r *Result) WriteDetailsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{
@@ -59,7 +61,7 @@ func (r *Result) WriteSummary(w io.Writer) error {
 		{"label", r.Label},
 		{"region", r.Region},
 		{"workload", r.Workload},
-		{"jobs", strconv.Itoa(len(r.Jobs))},
+		{"jobs", strconv.Itoa(r.JobCount())},
 		{"reserved", strconv.Itoa(r.Reserved)},
 		{"horizon_hours", f(r.Horizon.Hours())},
 		{"carbon_kg", f(r.TotalCarbonKg())},

@@ -6,6 +6,9 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"github.com/carbonsched/gaia/internal/cloud"
 	"github.com/carbonsched/gaia/internal/simtime"
@@ -90,12 +93,87 @@ type Result struct {
 	Horizon simtime.Duration
 	// Pricing is the price book used.
 	Pricing cloud.Pricing
-	// Jobs holds one record per executed job.
+	// Jobs holds one record per executed job. In the scheduler's default
+	// streaming mode it is empty — aggregates come from the attached
+	// Accumulator — and it is populated only under core's RetainJobs flag
+	// (CSV export, accounting DB, per-job tests). Results built by hand
+	// with Jobs filled in are fully supported: every aggregate falls back
+	// to scanning Jobs when no accumulator is attached.
 	Jobs []JobResult
+
+	// agg is the streaming accumulator, when the run was produced by the
+	// scheduler; nil for hand-built results.
+	agg *Accumulator
+	// memo caches derived queries so table rendering stops rescanning.
+	memo resultMemo
+}
+
+// resultMemo holds lazily computed aggregate caches. Guarded by mu so
+// concurrent readers of a shared Result are safe.
+type resultMemo struct {
+	mu      sync.Mutex
+	scalars bool
+	// Fused single-pass totals over the columns, accumulated in job-ID
+	// order — the same order as a scan over retained Jobs records, so the
+	// float64 sums are bit-identical to the legacy path.
+	totalCarbon, baselineCarbon, usageCost float64
+	totalWaitingHours                      float64
+	totalWaiting, totalCompletion          simtime.Duration
+
+	sortedWaitings []float64
+	cdf            *stats.WeightedCDF
+	seriesHorizon  simtime.Duration
+	series         *[3][]float64
+}
+
+// AttachAccumulator binds the streaming accumulator the aggregates are
+// answered from. The scheduler calls it once per run; results that carry
+// both an accumulator and retained Jobs answer every aggregate from the
+// accumulator, so the two modes are observationally identical.
+func (r *Result) AttachAccumulator(a *Accumulator) { r.agg = a }
+
+// JobCount returns the number of jobs in the run, independent of whether
+// per-job records were retained.
+func (r *Result) JobCount() int {
+	if r.agg != nil {
+		return r.agg.JobCount()
+	}
+	return len(r.Jobs)
+}
+
+// memoScalars fills the fused scalar totals from the columns on first use.
+func (r *Result) memoScalars() {
+	r.memo.mu.Lock()
+	defer r.memo.mu.Unlock()
+	if r.memo.scalars {
+		return
+	}
+	a := r.agg
+	var tc, bc, uc, wh float64
+	var tw, tcomp simtime.Duration
+	for i := range a.carbons {
+		tc += a.carbons[i]
+		bc += a.baselines[i]
+		uc += a.costs[i]
+		wh += a.waitings[i].Hours()
+		tw += a.waitings[i]
+		tcomp += a.waitings[i] + a.lengths[i]
+	}
+	r.memo.totalCarbon = tc
+	r.memo.baselineCarbon = bc
+	r.memo.usageCost = uc
+	r.memo.totalWaitingHours = wh
+	r.memo.totalWaiting = tw
+	r.memo.totalCompletion = tcomp
+	r.memo.scalars = true
 }
 
 // TotalCarbon returns cluster emissions in grams.
 func (r *Result) TotalCarbon() float64 {
+	if r.agg != nil {
+		r.memoScalars()
+		return r.memo.totalCarbon
+	}
 	var total float64
 	for i := range r.Jobs {
 		total += r.Jobs[i].Carbon
@@ -109,6 +187,10 @@ func (r *Result) TotalCarbonKg() float64 { return r.TotalCarbon() / 1000 }
 
 // BaselineCarbon returns the NoWait counterfactual emissions in grams.
 func (r *Result) BaselineCarbon() float64 {
+	if r.agg != nil {
+		r.memoScalars()
+		return r.memo.baselineCarbon
+	}
 	var total float64
 	for i := range r.Jobs {
 		total += r.Jobs[i].BaselineCarbon
@@ -133,6 +215,10 @@ func (r *Result) ReservedUpfront() float64 {
 
 // UsageCost returns the pay-as-you-go dollars (on-demand + spot).
 func (r *Result) UsageCost() float64 {
+	if r.agg != nil {
+		r.memoScalars()
+		return r.memo.usageCost
+	}
 	var total float64
 	for i := range r.Jobs {
 		total += r.Jobs[i].UsageCost
@@ -144,42 +230,93 @@ func (r *Result) UsageCost() float64 {
 // usage. This is the paper's cost metric.
 func (r *Result) TotalCost() float64 { return r.ReservedUpfront() + r.UsageCost() }
 
-// MeanWaiting returns the mean per-job waiting time.
-func (r *Result) MeanWaiting() simtime.Duration {
-	if len(r.Jobs) == 0 {
-		return 0
+// TotalWaiting returns the summed per-job waiting time.
+func (r *Result) TotalWaiting() simtime.Duration {
+	if r.agg != nil {
+		r.memoScalars()
+		return r.memo.totalWaiting
 	}
 	var total simtime.Duration
 	for i := range r.Jobs {
 		total += r.Jobs[i].Waiting
 	}
-	return total / simtime.Duration(len(r.Jobs))
+	return total
 }
 
-// MeanCompletion returns the mean per-job completion time.
-func (r *Result) MeanCompletion() simtime.Duration {
-	if len(r.Jobs) == 0 {
+// TotalWaitingHours returns the per-job waiting times summed in hours
+// (each converted before summing, in job-ID order).
+func (r *Result) TotalWaitingHours() float64 {
+	if r.agg != nil {
+		r.memoScalars()
+		return r.memo.totalWaitingHours
+	}
+	var total float64
+	for i := range r.Jobs {
+		total += r.Jobs[i].Waiting.Hours()
+	}
+	return total
+}
+
+// MeanWaiting returns the mean per-job waiting time (0 for an empty run).
+func (r *Result) MeanWaiting() simtime.Duration {
+	n := r.JobCount()
+	if n == 0 {
 		return 0
+	}
+	return r.TotalWaiting() / simtime.Duration(n)
+}
+
+// MeanCompletion returns the mean per-job completion time (0 for an
+// empty run). Completion is Waiting + Length by the accounting identity,
+// so no separate column is needed.
+func (r *Result) MeanCompletion() simtime.Duration {
+	n := r.JobCount()
+	if n == 0 {
+		return 0
+	}
+	if r.agg != nil {
+		r.memoScalars()
+		return r.memo.totalCompletion / simtime.Duration(n)
 	}
 	var total simtime.Duration
 	for i := range r.Jobs {
 		total += r.Jobs[i].Completion()
 	}
-	return total / simtime.Duration(len(r.Jobs))
+	return total / simtime.Duration(n)
 }
 
-// WaitingPercentile returns the p-th percentile (0-100) of per-job
-// waiting times; tail waits matter for user-facing SLOs even when the
-// mean looks benign. It returns 0 for an empty result.
+// WaitingPercentile returns the p-th percentile of per-job waiting times;
+// tail waits matter for user-facing SLOs even when the mean looks benign.
+// p is clamped to [0, 100]; a NaN p or an empty result yields 0. The
+// sorted column is memoized, so successive percentile queries cost O(1)
+// scans instead of a fresh copy-and-sort each.
 func (r *Result) WaitingPercentile(p float64) simtime.Duration {
-	if len(r.Jobs) == 0 {
+	if math.IsNaN(p) || r.JobCount() == 0 {
 		return 0
 	}
-	xs := make([]float64, len(r.Jobs))
-	for i := range r.Jobs {
-		xs[i] = float64(r.Jobs[i].Waiting)
+	if r.agg == nil {
+		xs := make([]float64, len(r.Jobs))
+		for i := range r.Jobs {
+			xs[i] = float64(r.Jobs[i].Waiting)
+		}
+		v, err := stats.Percentile(xs, p)
+		if err != nil {
+			return 0
+		}
+		return simtime.Duration(v)
 	}
-	v, err := stats.Percentile(xs, p)
+	r.memo.mu.Lock()
+	if r.memo.sortedWaitings == nil {
+		xs := make([]float64, len(r.agg.waitings))
+		for i, w := range r.agg.waitings {
+			xs[i] = float64(w)
+		}
+		sort.Float64s(xs)
+		r.memo.sortedWaitings = xs
+	}
+	xs := r.memo.sortedWaitings
+	r.memo.mu.Unlock()
+	v, err := stats.PercentileSorted(xs, p)
 	if err != nil {
 		return 0
 	}
@@ -188,6 +325,9 @@ func (r *Result) WaitingPercentile(p float64) simtime.Duration {
 
 // TotalEvictions counts spot revocations across the run.
 func (r *Result) TotalEvictions() int {
+	if r.agg != nil {
+		return r.agg.evictions
+	}
 	var total int
 	for i := range r.Jobs {
 		total += r.Jobs[i].Evictions
@@ -195,8 +335,24 @@ func (r *Result) TotalEvictions() int {
 	return total
 }
 
+// TotalWastedCPUHours returns CPU·hours of execution lost to spot
+// evictions (already included in the billed totals).
+func (r *Result) TotalWastedCPUHours() float64 {
+	if r.agg != nil {
+		return r.agg.wastedCPUHours
+	}
+	var total float64
+	for i := range r.Jobs {
+		total += r.Jobs[i].WastedCPUHours
+	}
+	return total
+}
+
 // CPUHoursByOption returns total CPU·hours billed per purchase option.
 func (r *Result) CPUHoursByOption() [3]float64 {
+	if r.agg != nil {
+		return r.agg.cpuHours
+	}
 	var out [3]float64
 	for i := range r.Jobs {
 		for o := range out {
@@ -207,12 +363,12 @@ func (r *Result) CPUHoursByOption() [3]float64 {
 }
 
 // ReservedUtilization returns used reserved CPU·hours over paid reserved
-// CPU·hours (0 with no reserved capacity). Low utilization is exactly the
-// effect that raises the effective price of reservations under
-// carbon-aware schedules.
+// CPU·hours (0 with no or degenerate reserved capacity). Low utilization
+// is exactly the effect that raises the effective price of reservations
+// under carbon-aware schedules.
 func (r *Result) ReservedUtilization() float64 {
 	paid := float64(r.Reserved) * r.Horizon.Hours()
-	if paid == 0 {
+	if paid <= 0 {
 		return 0
 	}
 	return r.CPUHoursByOption()[cloud.Reserved] / paid
@@ -226,6 +382,26 @@ func (r *Result) UsageSeries(horizon simtime.Duration) [3][]float64 {
 	slots := int(horizon / simtime.Hour)
 	var out [3][]float64
 	if slots <= 0 {
+		return out
+	}
+	if r.agg != nil {
+		r.memo.mu.Lock()
+		defer r.memo.mu.Unlock()
+		if r.memo.series != nil && r.memo.seriesHorizon == horizon {
+			return *r.memo.series
+		}
+		// The bins hold integer CPU·minutes per hour; dividing by 60 here
+		// equals the segment replay below bit for bit, because per-hour
+		// float64 sums of small integers are exact. Hours past the last
+		// bin saw no execution at all, so they read as zero either way.
+		for o := range out {
+			out[o] = make([]float64, slots)
+			bins := r.agg.usage[o]
+			for s := 0; s < slots && s < len(bins); s++ {
+				out[o][s] = float64(bins[s]) / 60
+			}
+		}
+		r.memo.series, r.memo.seriesHorizon = &out, horizon
 		return out
 	}
 	minutes := slots * 60
@@ -289,6 +465,26 @@ func (r *Result) PeakDemand(horizon simtime.Duration) float64 {
 // savings contributed by jobs of length <= x minutes (Figure 9). Only
 // positive savings contribute weight.
 func (r *Result) SavingsByLengthCDF() *stats.WeightedCDF {
+	if r.agg != nil {
+		r.memo.mu.Lock()
+		defer r.memo.mu.Unlock()
+		if r.memo.cdf != nil {
+			return r.memo.cdf
+		}
+		a := r.agg
+		values := make([]float64, 0, len(a.lengths))
+		weights := make([]float64, 0, len(a.lengths))
+		for i := range a.lengths {
+			s := a.baselines[i] - a.carbons[i]
+			if s <= 0 {
+				continue
+			}
+			values = append(values, float64(a.lengths[i]))
+			weights = append(weights, s)
+		}
+		r.memo.cdf = stats.NewWeightedCDF(values, weights)
+		return r.memo.cdf
+	}
 	values := make([]float64, 0, len(r.Jobs))
 	weights := make([]float64, 0, len(r.Jobs))
 	for i := range r.Jobs {
@@ -306,7 +502,7 @@ func (r *Result) SavingsByLengthCDF() *stats.WeightedCDF {
 func (r *Result) String() string {
 	return fmt.Sprintf("%s[%s/%s R=%d]: carbon=%.2fkg cost=$%.2f wait=%v jobs=%d",
 		r.Label, r.Workload, r.Region, r.Reserved,
-		r.TotalCarbonKg(), r.TotalCost(), r.MeanWaiting(), len(r.Jobs))
+		r.TotalCarbonKg(), r.TotalCost(), r.MeanWaiting(), r.JobCount())
 }
 
 // Relative compares this result against a baseline run of the same

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// streamedResult rebuilds a retained result as its streaming twin: the
+// same jobs folded into an accumulator (segments binned as usage), no
+// per-job records kept.
+func streamedResult(r *Result) *Result {
+	s := &Result{
+		Label:    r.Label,
+		Region:   r.Region,
+		Workload: r.Workload,
+		Reserved: r.Reserved,
+		Horizon:  r.Horizon,
+		Pricing:  r.Pricing,
+	}
+	acc := NewAccumulator(len(r.Jobs), r.Horizon)
+	for i := range r.Jobs {
+		j := &r.Jobs[i]
+		acc.AddJob(j)
+		for _, seg := range j.Segments {
+			acc.AddUsage(seg.Interval, seg.Reserved, seg.OnDemand, seg.Spot)
+		}
+	}
+	s.AttachAccumulator(acc)
+	return s
+}
+
+// Division-by-zero audit: the ratio metrics must answer 0, not NaN or a
+// panic, on degenerate runs — in both retained and streaming modes.
+func TestDegenerateRunsYieldZeros(t *testing.T) {
+	emptyAgg := &Result{Horizon: 10 * simtime.Hour}
+	emptyAgg.AttachAccumulator(NewAccumulator(0, 10*simtime.Hour))
+	cases := []struct {
+		name string
+		r    *Result
+	}{
+		{"zero-value", &Result{}},
+		{"empty-retained", &Result{Jobs: []JobResult{}, Horizon: simtime.Hour}},
+		{"empty-streaming", emptyAgg},
+		{"no-reserved", &Result{Jobs: []JobResult{{Length: simtime.Hour}}, Horizon: simtime.Hour}},
+		{"zero-horizon", &Result{Reserved: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checks := []struct {
+				name string
+				got  float64
+			}{
+				{"MeanWaiting", float64(tc.r.MeanWaiting())},
+				{"MeanCompletion", float64(tc.r.MeanCompletion())},
+				{"ReservedUtilization", tc.r.ReservedUtilization()},
+				{"CarbonSavingsFraction", tc.r.CarbonSavingsFraction()},
+				{"WaitingPercentile(50)", float64(tc.r.WaitingPercentile(50))},
+			}
+			for _, c := range checks {
+				if c.got != 0 || math.IsNaN(c.got) {
+					t.Errorf("%s = %v, want 0", c.name, c.got)
+				}
+			}
+		})
+	}
+}
+
+// CarbonSavingsFraction must stay finite when only the baseline is zero.
+func TestSavingsFractionZeroBaseline(t *testing.T) {
+	r := &Result{Jobs: []JobResult{{Carbon: 5, BaselineCarbon: 0}}}
+	if got := r.CarbonSavingsFraction(); got != 0 {
+		t.Errorf("savings with zero baseline = %v, want 0", got)
+	}
+	if got := streamedResult(r).CarbonSavingsFraction(); got != 0 {
+		t.Errorf("streaming savings with zero baseline = %v, want 0", got)
+	}
+}
+
+func waitingResult(waits ...simtime.Duration) *Result {
+	r := &Result{Horizon: simtime.Hour}
+	for i, w := range waits {
+		r.Jobs = append(r.Jobs, JobResult{JobID: i, Waiting: w, Length: simtime.Hour})
+	}
+	return r
+}
+
+// WaitingPercentile edge cases, exercised in both modes: empty result,
+// rank clamping at both ends, NaN rank, and the single-job degenerate.
+func TestWaitingPercentileEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		r    *Result
+		p    float64
+		want simtime.Duration
+	}{
+		{"empty", waitingResult(), 50, 0},
+		{"nan", waitingResult(simtime.Hour), math.NaN(), 0},
+		{"p0-is-min", waitingResult(3*simtime.Hour, simtime.Hour, 2*simtime.Hour), 0, simtime.Hour},
+		{"p100-is-max", waitingResult(3*simtime.Hour, simtime.Hour, 2*simtime.Hour), 100, 3 * simtime.Hour},
+		{"clamp-low", waitingResult(3*simtime.Hour, simtime.Hour), -40, simtime.Hour},
+		{"clamp-high", waitingResult(3*simtime.Hour, simtime.Hour), 250, 3 * simtime.Hour},
+		{"single-job", waitingResult(90 * simtime.Minute), 37.5, 90 * simtime.Minute},
+		{"median-interpolates", waitingResult(0, simtime.Hour), 50, 30 * simtime.Minute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.r.WaitingPercentile(tc.p); got != tc.want {
+				t.Errorf("retained: percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+			s := streamedResult(tc.r)
+			if got := s.WaitingPercentile(tc.p); got != tc.want {
+				t.Errorf("streaming: percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+			// Memoized second query must agree with the first.
+			if got := s.WaitingPercentile(tc.p); got != tc.want {
+				t.Errorf("streaming memoized: percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// usageResult builds a retained result with one job holding the given
+// execution segments.
+func usageResult(horizon simtime.Duration, segs ...Segment) *Result {
+	return &Result{
+		Horizon: horizon,
+		Jobs: []JobResult{{
+			JobID: 0, Length: simtime.Hour, Segments: segs,
+		}},
+	}
+}
+
+// UsageSeries bin boundaries: segments straddling hour edges must split
+// their minutes across bins, segments past the horizon must truncate, and
+// the streaming bins must agree with the retained segment replay exactly.
+func TestUsageSeriesBinBoundaries(t *testing.T) {
+	seg := func(startMin, endMin simtime.Duration, res, od, spot int) Segment {
+		return Segment{
+			Interval: simtime.Interval{Start: simtime.Time(startMin), End: simtime.Time(endMin)},
+			Reserved: res, OnDemand: od, Spot: spot,
+		}
+	}
+	cases := []struct {
+		name    string
+		horizon simtime.Duration
+		segs    []Segment
+		// wantOnDemand is the expected series for the on-demand option.
+		wantOnDemand []float64
+	}{
+		{
+			"aligned-hour",
+			3 * simtime.Hour,
+			[]Segment{seg(60, 120, 0, 2, 0)},
+			[]float64{0, 2, 0},
+		},
+		{
+			"straddles-edge",
+			3 * simtime.Hour,
+			[]Segment{seg(90, 150, 0, 1, 0)},
+			[]float64{0, 0.5, 0.5},
+		},
+		{
+			"sub-hour-sliver",
+			2 * simtime.Hour,
+			[]Segment{seg(59, 61, 0, 4, 0)},
+			[]float64{4.0 / 60, 4.0 / 60},
+		},
+		{
+			"truncated-at-horizon",
+			2 * simtime.Hour,
+			[]Segment{seg(90, 240, 0, 3, 0)},
+			[]float64{0, 1.5},
+		},
+		{
+			"starts-past-horizon",
+			simtime.Hour,
+			[]Segment{seg(120, 180, 0, 1, 0)},
+			[]float64{0},
+		},
+		{
+			"overlapping-segments-sum",
+			2 * simtime.Hour,
+			[]Segment{seg(0, 120, 0, 1, 0), seg(30, 90, 0, 2, 0)},
+			[]float64{2, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := usageResult(tc.horizon, tc.segs...)
+			retained := r.UsageSeries(tc.horizon)
+			streaming := streamedResult(r).UsageSeries(tc.horizon)
+			if !reflect.DeepEqual(retained, streaming) {
+				t.Fatalf("modes disagree:\nretained  %v\nstreaming %v", retained, streaming)
+			}
+			if got := retained[cloud.OnDemand]; !reflect.DeepEqual(got, tc.wantOnDemand) {
+				t.Errorf("on-demand series = %v, want %v", got, tc.wantOnDemand)
+			}
+		})
+	}
+}
+
+func TestAccumulatorQueueTags(t *testing.T) {
+	acc := NewAccumulator(2, simtime.Hour)
+	acc.AddJob(&JobResult{JobID: 1, Queue: workload.QueueLong})
+	if acc.Queue(0) != workload.QueueShort || acc.Queue(1) != workload.QueueLong {
+		t.Errorf("queue tags = %v, %v", acc.Queue(0), acc.Queue(1))
+	}
+}

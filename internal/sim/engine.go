@@ -28,6 +28,14 @@ const (
 	PriorityLow
 )
 
+// Action is a pre-allocated event callback: scheduling one stores an
+// interface value instead of allocating a closure, so callers that pool
+// their action records (the core scheduler's per-job state) run the whole
+// event loop allocation-free.
+type Action interface {
+	Fire()
+}
+
 // Event is a scheduled callback. It is returned by Schedule so callers can
 // cancel it (e.g. a planned carbon-aware start that was preempted by a
 // work-conserving early start).
@@ -36,6 +44,7 @@ type Event struct {
 	priority Priority
 	seq      int64
 	fn       func()
+	act      Action
 	canceled bool
 }
 
@@ -79,6 +88,26 @@ type Engine struct {
 	// the in-flight events, shortening every sift.
 	stream    []*Event
 	streamPos int
+	// source is the zero-materialization variant of the stream: events are
+	// described by index-addressed callbacks and never exist as Event
+	// records at all (see SetSource).
+	source srcState
+	// free holds fired events for reuse when recycling is enabled,
+	// bounding event storage by the in-flight count instead of the total
+	// event count (see SetRecycle).
+	free []*Event
+	// recycle gates the freelist: reusing an Event invalidates pointers
+	// callers may still hold after it fires, so it is opt-in.
+	recycle bool
+}
+
+// srcState is the engine's pull-based sorted event source.
+type srcState struct {
+	n        int
+	pos      int
+	timeAt   func(i int) simtime.Time
+	priority Priority
+	fire     func(i int)
 }
 
 // NewEngine creates an engine at time 0.
@@ -93,24 +122,89 @@ func (e *Engine) Executed() int64 { return e.executed }
 
 // Pending returns the number of events still queued (including canceled
 // ones not yet reaped).
-func (e *Engine) Pending() int { return len(e.events) + len(e.stream) - e.streamPos }
+func (e *Engine) Pending() int {
+	return len(e.events) + len(e.stream) - e.streamPos + e.source.n - e.source.pos
+}
 
-// Schedule enqueues fn to run at t with the given priority. It panics if t
-// is in the past — schedulers deriving a start time must clamp to now
-// themselves, and silently reordering history would corrupt accounting.
-func (e *Engine) Schedule(t simtime.Time, p Priority, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+// SetRecycle enables event reuse: once a scheduled event has fired (or
+// been popped canceled), its storage goes onto a freelist for the next
+// Schedule call, so a long run allocates events proportional to its peak
+// in-flight count rather than its total event count. Callers must not
+// retain *Event pointers past the event's firing — Cancel on a fired
+// event could cancel an unrelated reused one — which the core scheduler
+// guarantees by construction.
+func (e *Engine) SetRecycle(v bool) { e.recycle = v }
+
+// SetSource installs a pull-based pre-sorted event source: n events whose
+// times are timeAt(0..n-1) in non-decreasing order, all at the given
+// priority, fired via fire(i). The engine merges the source with the heap
+// (and stream) at each step without ever materializing Event records, so
+// a million-arrival trace costs zero event storage. Source events win
+// ties against heap events at the same (time, priority) — exactly the
+// order ScheduleSorted produces, since its events are enqueued (and thus
+// sequence-numbered) before any dynamic event. Source events cannot be
+// canceled. Calling SetSource replaces any previous source.
+func (e *Engine) SetSource(n int, timeAt func(i int) simtime.Time, p Priority, fire func(i int)) {
+	if n > 0 && (timeAt == nil || fire == nil) {
+		panic("sim: SetSource needs timeAt and fire callbacks")
 	}
-	if fn == nil {
-		panic("sim: scheduling nil callback")
+	e.source = srcState{n: n, timeAt: timeAt, priority: p, fire: fire}
+}
+
+// newEvent takes an event record from the freelist or the slab.
+func (e *Engine) newEvent() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
 	}
 	if len(e.slab) == 0 {
 		e.slab = make([]Event, 256)
 	}
 	ev := &e.slab[0]
 	e.slab = e.slab[1:]
-	*ev = Event{time: t, priority: p, seq: e.seq, fn: fn}
+	return ev
+}
+
+// retire returns a popped event to the freelist when recycling is on.
+func (e *Engine) retire(ev *Event) {
+	if e.recycle {
+		ev.fn, ev.act = nil, nil
+		e.free = append(e.free, ev)
+	}
+}
+
+// Schedule enqueues fn to run at t with the given priority. It panics if t
+// is in the past — schedulers deriving a start time must clamp to now
+// themselves, and silently reordering history would corrupt accounting.
+func (e *Engine) Schedule(t simtime.Time, p Priority, fn func()) *Event {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := e.schedule(t, p)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleAction is Schedule for a pre-allocated Action — no closure is
+// created, so pooled action records make scheduling allocation-free.
+func (e *Engine) ScheduleAction(t simtime.Time, p Priority, a Action) *Event {
+	if a == nil {
+		panic("sim: scheduling nil action")
+	}
+	ev := e.schedule(t, p)
+	ev.act = a
+	return ev
+}
+
+// schedule allocates and enqueues a callback-less event at (t, p).
+func (e *Engine) schedule(t simtime.Time, p Priority) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := e.newEvent()
+	*ev = Event{time: t, priority: p, seq: e.seq}
 	e.seq++
 	e.events.push(ev)
 	return ev
@@ -129,11 +223,7 @@ func (e *Engine) ScheduleSorted(t simtime.Time, p Priority, fn func()) *Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	if len(e.slab) == 0 {
-		e.slab = make([]Event, 256)
-	}
-	ev := &e.slab[0]
-	e.slab = e.slab[1:]
+	ev := e.newEvent()
 	*ev = Event{time: t, priority: p, seq: e.seq, fn: fn}
 	e.seq++
 	if n := len(e.stream); n > 0 && ev.before(e.stream[n-1]) {
@@ -153,7 +243,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline, then advances the clock
 // to deadline. Events scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline simtime.Time) {
-	for next := e.peek(); next != nil && next.time <= deadline; next = e.peek() {
+	for t, ok := e.nextTime(); ok && t <= deadline; t, ok = e.nextTime() {
 		e.step()
 	}
 	if e.now < deadline {
@@ -161,25 +251,54 @@ func (e *Engine) RunUntil(deadline simtime.Time) {
 	}
 }
 
-// peek returns the next event to fire without removing it, or nil.
-func (e *Engine) peek() *Event {
-	if e.streamPos >= len(e.stream) {
-		if len(e.events) == 0 {
-			return nil
+// nextTime returns the instant of the next event to fire, if any.
+func (e *Engine) nextTime() (simtime.Time, bool) {
+	var t simtime.Time
+	ok := false
+	if e.streamPos < len(e.stream) {
+		t, ok = e.stream[e.streamPos].time, true
+	}
+	if len(e.events) > 0 && (!ok || e.events[0].time < t) {
+		t, ok = e.events[0].time, true
+	}
+	if s := &e.source; s.pos < s.n {
+		if st := s.timeAt(s.pos); !ok || st < t {
+			t, ok = st, true
 		}
-		return e.events[0]
 	}
-	if len(e.events) == 0 || e.stream[e.streamPos].before(e.events[0]) {
-		return e.stream[e.streamPos]
-	}
-	return e.events[0]
+	return t, ok
 }
 
 func (e *Engine) step() {
+	// Candidate from the materialized queues: stream merged with heap by
+	// the strict (time, priority, seq) order.
 	var ev *Event
+	fromStream := false
 	if e.streamPos < len(e.stream) &&
 		(len(e.events) == 0 || e.stream[e.streamPos].before(e.events[0])) {
 		ev = e.stream[e.streamPos]
+		fromStream = true
+	} else if len(e.events) > 0 {
+		ev = e.events[0]
+	}
+	// The source wins ties against the materialized queues: its events
+	// are, by construction, enqueued before any dynamic event, so they
+	// carry the smaller (conceptual) sequence numbers.
+	if s := &e.source; s.pos < s.n {
+		t := s.timeAt(s.pos)
+		if ev == nil || t < ev.time || (t == ev.time && s.priority <= ev.priority) {
+			if t < e.now {
+				panic(fmt.Sprintf("sim: source event at %v before now %v", t, e.now))
+			}
+			i := s.pos
+			s.pos++
+			e.now = t
+			e.executed++
+			s.fire(i)
+			return
+		}
+	}
+	if fromStream {
 		e.stream[e.streamPos] = nil
 		e.streamPos++
 		if e.streamPos == len(e.stream) {
@@ -190,10 +309,19 @@ func (e *Engine) step() {
 	}
 	e.now = ev.time
 	if ev.canceled {
+		e.retire(ev)
 		return
 	}
 	e.executed++
-	ev.fn()
+	// Capture the callback before retiring: an event scheduled from
+	// inside the callback may legitimately reuse this very record.
+	fn, act := ev.fn, ev.act
+	e.retire(ev)
+	if fn != nil {
+		fn()
+	} else {
+		act.Fire()
+	}
 }
 
 // eventHeap is a hand-rolled 4-ary min-heap ordered by Event.before. It

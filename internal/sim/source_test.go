@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// TestSourceMergesIdenticallyWithStream feeds the same arrival set through
+// three engines — pull-based source, pre-sorted stream, and plain heap —
+// and requires identical execution orders. Callbacks re-schedule follow-up
+// events at colliding instants to exercise tie-breaking while the source
+// is still non-empty.
+func TestSourceMergesIdenticallyWithStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	times := make([]simtime.Time, 300)
+	at := simtime.Time(0)
+	for i := range times {
+		at = at.Add(simtime.Duration(rng.Intn(4))) // dense ties
+		times[i] = at
+	}
+
+	type mode int
+	const (
+		useSource mode = iota
+		useStream
+		useHeap
+	)
+	run := func(m mode) []int {
+		var order []int
+		e := NewEngine()
+		record := func(id int) {
+			order = append(order, id)
+			if id%3 == 0 {
+				// Follow-ups land in the heap at the same instant as later
+				// arrivals, at both lower and higher priorities.
+				e.Schedule(e.Now().Add(simtime.Duration(id%5)), PriorityStart, func() {
+					order = append(order, 10000+id)
+				})
+				e.Schedule(e.Now().Add(simtime.Duration(id%5)), PriorityLow, func() {
+					order = append(order, 20000+id)
+				})
+			}
+		}
+		switch m {
+		case useSource:
+			e.SetSource(len(times), func(i int) simtime.Time { return times[i] },
+				PriorityArrival, record)
+		case useStream:
+			for i, at := range times {
+				i := i
+				e.ScheduleSorted(at, PriorityArrival, func() { record(i) })
+			}
+		case useHeap:
+			for i, at := range times {
+				i := i
+				e.Schedule(at, PriorityArrival, func() { record(i) })
+			}
+		}
+		e.Run()
+		return order
+	}
+
+	want := run(useHeap)
+	if got := run(useSource); !reflect.DeepEqual(got, want) {
+		t.Fatalf("source order diverges from heap order:\n source = %v\n heap   = %v", got, want)
+	}
+	if got := run(useStream); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream order diverges from heap order:\n stream = %v\n heap   = %v", got, want)
+	}
+}
+
+// TestSourcePendingAndRunUntil checks that source events count as pending
+// and respect RunUntil deadlines.
+func TestSourcePendingAndRunUntil(t *testing.T) {
+	e := NewEngine()
+	times := []simtime.Time{5, 10, 15}
+	var fired []int
+	e.SetSource(len(times), func(i int) simtime.Time { return times[i] },
+		PriorityArrival, func(i int) { fired = append(fired, i) })
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	e.RunUntil(10)
+	if want := []int{0, 1}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 || e.Pending() != 0 {
+		t.Fatalf("after Run: fired = %v, pending = %d", fired, e.Pending())
+	}
+}
+
+// actionRecorder implements Action.
+type actionRecorder struct {
+	order *[]int
+	id    int
+}
+
+func (a *actionRecorder) Fire() { *a.order = append(*a.order, a.id) }
+
+// TestScheduleActionOrdering interleaves closure and action events and
+// checks they obey the same (time, priority, seq) order.
+func TestScheduleActionOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(5, PriorityStart, func() { order = append(order, 1) })
+	e.ScheduleAction(5, PriorityFinish, &actionRecorder{&order, 0})
+	e.ScheduleAction(5, PriorityStart, &actionRecorder{&order, 2}) // same (t,p) as id 1, later seq
+	e.Run()
+	if want := []int{0, 1, 2}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestRecycleReusesRecords verifies that with recycling on, fired events
+// are reused and canceled events still never fire, while execution order
+// is unchanged versus a non-recycling engine.
+func TestRecycleReusesRecords(t *testing.T) {
+	run := func(recycle bool) []int {
+		e := NewEngine()
+		e.SetRecycle(recycle)
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			e.Schedule(simtime.Time(i), PriorityStart, func() {
+				order = append(order, i)
+				// Schedule from inside a callback: with recycling this may
+				// reuse the record currently firing.
+				e.Schedule(simtime.Time(i+100), PriorityFinish, func() {
+					order = append(order, 1000+i)
+				})
+			})
+		}
+		ev := e.Schedule(60, PriorityStart, func() { order = append(order, -1) })
+		ev.Cancel()
+		e.Run()
+		return order
+	}
+	want := run(false)
+	got := run(true)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recycled order diverges:\n got  = %v\n want = %v", got, want)
+	}
+	for _, id := range got {
+		if id == -1 {
+			t.Fatal("canceled event fired")
+		}
+	}
+}
+
+// TestRecycleBoundsStorage pins the point of recycling: a long sequential
+// chain of events reuses one record instead of growing the slab.
+func TestRecycleBoundsStorage(t *testing.T) {
+	e := NewEngine()
+	e.SetRecycle(true)
+	var n int
+	var step func()
+	step = func() {
+		n++
+		if n < 10000 {
+			e.Schedule(e.Now().Add(1), PriorityStart, step)
+		}
+	}
+	e.Schedule(0, PriorityStart, step)
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("ran %d events", n)
+	}
+	// One initial slab chunk covers the whole chain when records recycle.
+	if got := e.seq; got != 10000 {
+		t.Fatalf("seq = %d, want 10000", got)
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("freelist holds %d records, want 1", len(e.free))
+	}
+}

@@ -16,6 +16,11 @@ import (
 // ErrEmpty is returned by functions that need at least one sample.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ErrNaN is returned by the percentile functions for a NaN rank: NaN
+// comparisons are all false, so clamping cannot repair it and silently
+// interpolating would index garbage.
+var ErrNaN = errors.New("stats: NaN percentile")
+
 // Sum returns the sum of xs.
 func Sum(xs []float64) float64 {
 	var s float64
@@ -78,22 +83,20 @@ func MinMax(xs []float64) (min, max float64, err error) {
 	return min, max, nil
 }
 
-// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
-// interpolation between order statistics. It returns ErrEmpty for an empty
-// slice. The input is not modified.
+// Percentile returns the p-th percentile of xs using linear interpolation
+// between order statistics. p is clamped to [0, 100]; a NaN p returns
+// ErrNaN. It returns ErrEmpty for an empty slice. The input is not
+// modified.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 {
-		p = 0
-	}
-	if p > 100 {
-		p = 100
+	if math.IsNaN(p) {
+		return 0, ErrNaN
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	return percentileSorted(sorted, p), nil
+	return percentileSorted(sorted, clampRank(p)), nil
 }
 
 // PercentileInPlace is Percentile without the defensive copy: xs is
@@ -104,14 +107,36 @@ func PercentileInPlace(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 {
-		p = 0
-	}
-	if p > 100 {
-		p = 100
+	if math.IsNaN(p) {
+		return 0, ErrNaN
 	}
 	sort.Float64s(xs)
-	return percentileSorted(xs, p), nil
+	return percentileSorted(xs, clampRank(p)), nil
+}
+
+// PercentileSorted is Percentile over already-sorted data: callers that
+// memoize one sorted copy (the metrics layer's waiting column) answer
+// each percentile query with a single interpolation instead of a fresh
+// copy-and-sort. The arithmetic is identical to Percentile's.
+func PercentileSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(p) {
+		return 0, ErrNaN
+	}
+	return percentileSorted(sorted, clampRank(p)), nil
+}
+
+// clampRank pins a percentile rank into [0, 100].
+func clampRank(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
 }
 
 // percentileSorted computes a percentile over already-sorted data.
