@@ -39,10 +39,13 @@ bench:
 # Machine-readable snapshot of the hot-path + scaling benchmarks (see
 # cmd/gaia-bench). BENCH_JSON names the snapshot this PR commits;
 # bench-check replays the same benchmarks and fails on >15% ns/op
-# regressions against it.
-BENCH_JSON ?= BENCH_PR3.json
-BENCH_LABEL ?= pr3
-BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral
+# regressions against BENCH_BASELINE, the previous PR's snapshot (only
+# benchmarks present in both are compared, so new benchmarks simply
+# start their history in the new snapshot).
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_LABEL ?= pr4
+BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint
 # -count=3: gaia-bench keeps each benchmark's fastest sample, which damps
 # scheduler noise on shared machines enough for the 15% gate to be stable.
 bench-json:
@@ -51,7 +54,7 @@ bench-json:
 
 bench-check:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -count=3 \
-		-benchmem . | $(GO) run ./cmd/gaia-bench -baseline $(BENCH_JSON)
+		-benchmem . | $(GO) run ./cmd/gaia-bench -baseline $(BENCH_BASELINE)
 
 # Regenerate the evaluation tables (quick scale; figures-full = paper scale).
 figures:

@@ -17,6 +17,7 @@ import (
 	"github.com/carbonsched/gaia/internal/experiments"
 	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/runcache"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/workload"
 )
@@ -27,7 +28,14 @@ func benchFigure(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Disable the simulation cache: these benchmarks track simulator
+	// performance, and a warm cache would serve every iteration after the
+	// first from memory. BenchmarkSuiteColdVsWarm measures the cache.
+	prev := experiments.ActiveCache()
+	experiments.SetCache(nil)
+	defer experiments.SetCache(prev)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := e.Run(experiments.Quick)
 		if err != nil {
@@ -126,6 +134,63 @@ func BenchmarkSweepParallel(b *testing.B) {
 	parPerOp := float64(b.Elapsed()) / float64(b.N)
 	if parPerOp > 0 {
 		b.ReportMetric(float64(seqTime)/parPerOp, "speedup")
+	}
+}
+
+// runSuite renders every registered experiment once at quick scale.
+func runSuite(b *testing.B) {
+	b.Helper()
+	for _, e := range experiments.All() {
+		out, err := e.Run(experiments.Quick)
+		if err != nil {
+			b.Fatalf("%s: %v", e.ID, err)
+		}
+		if out.String() == "" {
+			b.Fatalf("%s: empty output", e.ID)
+		}
+	}
+}
+
+// BenchmarkSuiteColdVsWarm is the headline number of the simulation
+// cache: the full 26-figure suite rendered against a cold cache (every
+// unique cell simulates once, duplicates dedup) versus a warm one (every
+// cacheable cell served from memory). The warm/cold gap is the suite time
+// the cache gives back on re-runs.
+func BenchmarkSuiteColdVsWarm(b *testing.B) {
+	prev := experiments.ActiveCache()
+	defer experiments.SetCache(prev)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.SetCache(runcache.New())
+			runSuite(b)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		experiments.SetCache(runcache.New())
+		runSuite(b) // prime the cache outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runSuite(b)
+		}
+	})
+}
+
+// BenchmarkFingerprint measures deriving one cell's cache key (canonical
+// config encoding; the trace hashes are memoized after the first call).
+func BenchmarkFingerprint(b *testing.B) {
+	cfgs, jobs := sweepCells()
+	cfg := cfgs[7]
+	if _, ok := cfg.Fingerprint(jobs); !ok {
+		b.Fatal("sweep cell unexpectedly not fingerprintable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cfg.Fingerprint(jobs); !ok {
+			b.Fatal("not fingerprintable")
+		}
 	}
 }
 

@@ -8,6 +8,8 @@
 //	gaia-exp -figure fig13 -full      # paper-scale (year, ~100k jobs)
 //	gaia-exp -all                     # every figure, quick scale
 //	gaia-exp -all -j 4                # at most 4 experiments in flight
+//	gaia-exp -all -cache .gaia-cache  # persist results; warm re-runs skip simulation
+//	gaia-exp -all -nocache            # re-simulate every cell
 //	gaia-exp -figure fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -all, experiments run concurrently on a bounded worker pool
@@ -15,6 +17,12 @@
 // output is printed in ID order and is byte-identical to a sequential
 // run. Per-experiment and total wall-clock times are reported so the
 // speedup is visible.
+//
+// Simulation cells are deduplicated through a content-addressed cache:
+// identical (policy, trace, cluster) cells across figures simulate once,
+// and with -cache the results persist across invocations. Output is
+// byte-identical with the cache on, off, or warm; a summary after -all
+// attributes hits, in-flight dedups and disk hits per figure.
 package main
 
 import (
@@ -42,10 +50,23 @@ func run() int {
 		full       = flag.Bool("full", false, "paper-scale runs (year-long traces) instead of quick")
 		outdir     = flag.String("outdir", "", "also write each result to <outdir>/<id>.txt")
 		workers    = flag.Int("j", runtime.NumCPU(), "max experiments in flight for -all (results stay deterministic)")
+		cachedir   = flag.String("cache", "", "persist simulation results under this directory (warm re-runs skip simulation)")
+		nocache    = flag.Bool("nocache", false, "disable the in-memory simulation cache (every cell re-simulates)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	switch {
+	case *nocache:
+		experiments.SetCache(nil)
+	case *cachedir != "":
+		c := experiments.ActiveCache()
+		if err := c.SetDir(*cachedir); err != nil {
+			fmt.Fprintf(os.Stderr, "gaia-exp: %v\n", err)
+			return 1
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -142,7 +163,29 @@ func runAll(scale experiments.Scale, workers int, outdir string) error {
 	}
 	fmt.Printf("total: %d experiments in %v wall-clock (%v summed, -j %d)\n",
 		len(exps), total.Round(time.Millisecond), cpuTime.Round(time.Millisecond), par.Workers(workers))
+	printCacheStats()
 	return nil
+}
+
+// printCacheStats reports how the simulation cache served each figure's
+// cells, and in total how many simulations it avoided. Nothing is printed
+// when caching is disabled (-nocache).
+func printCacheStats() {
+	if experiments.ActiveCache() == nil {
+		return
+	}
+	ids, byFigure, total := experiments.CacheStats()
+	if total.Total() == 0 {
+		return
+	}
+	fmt.Println("cache: figure breakdown (cells: computed/hit/dedup/disk/bypass)")
+	for _, id := range ids {
+		s := byFigure[id]
+		fmt.Printf("cache:   %-14s %3d cells: %d/%d/%d/%d/%d\n",
+			id, s.Total(), s.Computed, s.Hits, s.Dedups, s.DiskHits, s.Bypassed)
+	}
+	fmt.Printf("cache: total %d cells — %d computed, %d hits, %d in-flight dedups, %d disk hits, %d bypassed; %d simulated cells avoided\n",
+		total.Total(), total.Computed, total.Hits, total.Dedups, total.DiskHits, total.Bypassed, total.Avoided())
 }
 
 func runOne(e experiments.Experiment, scale experiments.Scale, outdir string) error {

@@ -9,8 +9,11 @@
 package carbon
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"github.com/carbonsched/gaia/internal/simtime"
@@ -26,6 +29,7 @@ type Trace struct {
 	values []float64 // g/kWh per hourly slot
 	prefix []float64 // prefix[i] = sum of values[0:i]
 	oracle atomic.Pointer[Oracle]
+	fp     atomic.Pointer[[32]byte]
 }
 
 // NewTrace builds a trace from hourly CI values (g/kWh). The slice is
@@ -61,6 +65,32 @@ func MustTrace(region string, values []float64) *Trace {
 
 // Region returns the region label.
 func (tr *Trace) Region() string { return tr.region }
+
+// Fingerprint returns a content hash of the trace — the region label and
+// the exact bit patterns of every hourly value — memoized on first use.
+// Traces are immutable after construction, so the fingerprint is computed
+// at most once and is safe to read from concurrent simulations. It is the
+// carbon half of the content-addressed simulation cache key.
+func (tr *Trace) Fingerprint() [32]byte {
+	if fp := tr.fp.Load(); fp != nil {
+		return *fp
+	}
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(tr.region)))
+	h.Write(buf[:])
+	h.Write([]byte(tr.region))
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(tr.values)))
+	h.Write(buf[:])
+	for _, v := range tr.values {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	fp := new([32]byte)
+	h.Sum(fp[:0])
+	tr.fp.Store(fp)
+	return *fp
+}
 
 // Len returns the number of hourly slots.
 func (tr *Trace) Len() int { return len(tr.values) }

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Canonical returns the configuration exactly as Run will execute it:
+// defaults filled in (CIS, price book, power model, queue ladder, horizon,
+// checkpoint overhead, derived label, any forced retention). It is the
+// normal form the simulation cache fingerprints, and what cache layers use
+// to rebuild a Result identical to the one Run would have produced.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
+// Fingerprint returns a content hash identifying the simulation outcome of
+// running this configuration over jobs: two runs fingerprint equal if and
+// only if core.Run is guaranteed to produce bit-identical aggregate
+// results for them. ok=false means the configuration cannot be
+// fingerprinted (an unrecognized policy or CIS implementation whose
+// behaviour is opaque, or per-job retention requested) and the caller must
+// simulate.
+//
+// The hash covers the canonical (defaulted) form, so a zero field and its
+// explicit default collide as required, and it deliberately excludes or
+// normalizes everything that cannot influence the numbers:
+//
+//   - Label never enters the hash — it only names the rendered row.
+//   - Presentation-only retention (RetainJobs) makes the config
+//     non-cacheable instead: retained runs carry per-job records the
+//     cache does not store.
+//   - With SpotMaxLen == 0 no job ever routes to spot, so the eviction
+//     rate, checkpoint knobs and seed are zeroed before hashing; with
+//     EvictionRate == 0 the eviction model never fires, so the seed
+//     alone is zeroed (checkpoint padding still alters spot runtimes).
+//   - AvgLengthOverride is hashed in sorted key order and restricted to
+//     queues that exist in the ladder — entries for out-of-range queues
+//     are ignored by the scheduler and must not perturb the key.
+//
+// Carbon and workload content enter through the traces' memoized
+// fingerprints, so hashing a config is cheap enough to do per cell.
+func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
+	canon := c.withDefaults()
+	if canon.Policy == nil || canon.Carbon == nil || jobs == nil {
+		return fp, false
+	}
+	if canon.RetainJobs {
+		return fp, false
+	}
+	ptag, pparam, ok := policyIdentity(canon.Policy)
+	if !ok {
+		return fp, false
+	}
+	perfect, ok := canon.CIS.(*carbon.PerfectService)
+	if !ok {
+		return fp, false
+	}
+
+	if canon.SpotMaxLen == 0 {
+		canon.EvictionRate = 0
+		canon.CheckpointInterval = 0
+		canon.CheckpointOverhead = 0
+		canon.Seed = 0
+	}
+	if canon.EvictionRate == 0 {
+		canon.Seed = 0
+	}
+
+	h := sha256.New()
+	var buf [8]byte
+	le := binary.LittleEndian
+	u64 := func(v uint64) {
+		le.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(fingerprintLayout)
+	u64(uint64(ptag))
+	f64(pparam)
+	cfp := canon.Carbon.Fingerprint()
+	h.Write(cfp[:])
+	sfp := perfect.Trace().Fingerprint()
+	h.Write(sfp[:])
+	u64(uint64(canon.Reserved))
+	if canon.WorkConserving {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	u64(uint64(canon.SpotMaxLen))
+	f64(canon.EvictionRate)
+	u64(uint64(canon.CheckpointInterval))
+	u64(uint64(canon.CheckpointOverhead))
+	f64(canon.Pricing.OnDemandHourly)
+	f64(canon.Pricing.ReservedFraction)
+	f64(canon.Pricing.SpotFraction)
+	f64(canon.Power.KWPerCPU)
+	u64(uint64(len(canon.Queues)))
+	for _, q := range canon.Queues {
+		u64(uint64(q.MaxLength))
+		u64(uint64(q.MaxWait))
+	}
+	u64(uint64(canon.Horizon))
+	keys := make([]int, 0, len(canon.AvgLengthOverride))
+	for q := range canon.AvgLengthOverride {
+		if int(q) >= 0 && int(q) < len(canon.Queues) {
+			keys = append(keys, int(q))
+		}
+	}
+	sort.Ints(keys)
+	u64(uint64(len(keys)))
+	for _, k := range keys {
+		u64(uint64(k))
+		u64(uint64(canon.AvgLengthOverride[workload.Queue(k)]))
+	}
+	u64(uint64(canon.Seed))
+	jfp := jobs.Fingerprint()
+	h.Write(jfp[:])
+
+	h.Sum(fp[:0])
+	return fp, true
+}
+
+// fingerprintLayout versions the binary layout hashed above. Bump it
+// whenever the set or order of fields changes so stale on-disk cache
+// entries written under the old layout can never collide with new keys.
+const fingerprintLayout = 1
+
+// policyIdentity maps a policy to a stable tag plus its parameters. Only
+// policies this function knows are cacheable: an unknown implementation
+// may carry hidden state the fingerprint cannot see. Tags are frozen —
+// append new policies, never renumber.
+func policyIdentity(p policy.Policy) (tag int, param float64, ok bool) {
+	switch p := p.(type) {
+	case policy.NoWait:
+		return 1, 0, true
+	case policy.AllWait:
+		return 2, 0, true
+	case policy.LowestSlot:
+		return 3, 0, true
+	case policy.LowestWindow:
+		return 4, 0, true
+	case policy.CarbonTime:
+		return 5, 0, true
+	case policy.WaitAwhile:
+		return 6, 0, true
+	case policy.WaitAwhileEst:
+		return 7, 0, true
+	case policy.Ecovisor:
+		pct := p.ThresholdPercentile
+		if pct <= 0 {
+			pct = 30 // Decide's documented default
+		}
+		return 8, pct, true
+	default:
+		return 0, 0, false
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// fpFixture builds a small valid trace pair for fingerprinting tests.
+func fpFixture(t testing.TB) (*carbon.Trace, *workload.Trace) {
+	t.Helper()
+	tr := carbon.RegionSAAU.Generate(24*10, 1)
+	jobs := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(3)), 200, simtime.Week)
+	return tr, jobs
+}
+
+func mustFingerprint(t *testing.T, cfg Config, jobs *workload.Trace) [32]byte {
+	t.Helper()
+	fp, ok := cfg.Fingerprint(jobs)
+	if !ok {
+		t.Fatalf("config unexpectedly not fingerprintable: %+v", cfg)
+	}
+	return fp
+}
+
+// TestFingerprintCanonicalization asserts that every way of spelling the
+// same effective configuration hashes identically: zero values vs their
+// explicit defaults, permuted AvgLengthOverride insertion order, label
+// changes, and knobs that are irrelevant in context (spot/eviction seeds
+// with spot disabled).
+func TestFingerprintCanonicalization(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	base := Config{Policy: policy.CarbonTime{}, Carbon: tr}
+	want := mustFingerprint(t, base, jobs)
+
+	equivalents := map[string]Config{
+		"explicit CIS": {Policy: policy.CarbonTime{}, Carbon: tr,
+			CIS: carbon.NewPerfectService(tr)},
+		"explicit defaults": {Policy: policy.CarbonTime{}, Carbon: tr,
+			ShortMax: 2 * simtime.Hour, WaitShort: 6 * simtime.Hour, WaitLong: 24 * simtime.Hour,
+			Horizon: tr.Horizon()},
+		"explicit queue ladder": {Policy: policy.CarbonTime{}, Carbon: tr,
+			Queues: []QueueSpec{
+				{MaxLength: 2 * simtime.Hour, MaxWait: 6 * simtime.Hour},
+				{MaxLength: 0, MaxWait: 24 * simtime.Hour},
+			}},
+		"label differs": {Policy: policy.CarbonTime{}, Carbon: tr, Label: "renamed"},
+		"seed without spot": {Policy: policy.CarbonTime{}, Carbon: tr, Seed: 12345,
+			EvictionRate: 0.3, CheckpointInterval: simtime.Hour},
+		"override for queue out of range": {Policy: policy.CarbonTime{}, Carbon: tr,
+			AvgLengthOverride: map[workload.Queue]simtime.Duration{7: simtime.Hour}},
+	}
+	for name, cfg := range equivalents {
+		if got := mustFingerprint(t, cfg, jobs); got != want {
+			t.Errorf("%s: fingerprint differs from base", name)
+		}
+	}
+}
+
+// TestFingerprintOverrideOrderInsensitive permutes map insertion order —
+// the canonical encoding must sort keys, so iteration order artifacts can
+// never split the cache.
+func TestFingerprintOverrideOrderInsensitive(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	mk := func(order []workload.Queue) Config {
+		vals := map[workload.Queue]simtime.Duration{
+			workload.QueueShort: 45 * simtime.Minute,
+			workload.QueueLong:  5 * simtime.Hour,
+		}
+		override := make(map[workload.Queue]simtime.Duration, len(order))
+		for _, q := range order {
+			override[q] = vals[q]
+		}
+		return Config{Policy: policy.LowestWindow{}, Carbon: tr, AvgLengthOverride: override}
+	}
+	a := mustFingerprint(t, mk([]workload.Queue{workload.QueueShort, workload.QueueLong}), jobs)
+	b := mustFingerprint(t, mk([]workload.Queue{workload.QueueLong, workload.QueueShort}), jobs)
+	if a != b {
+		t.Error("fingerprint depends on AvgLengthOverride insertion order")
+	}
+}
+
+// TestFingerprintDistinguishes asserts that every knob that can change a
+// simulation result changes the fingerprint.
+func TestFingerprintDistinguishes(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	tr2 := carbon.RegionCAUS.Generate(24*10, 1)
+	jobs2 := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(4)), 200, simtime.Week)
+	base := Config{Policy: policy.CarbonTime{}, Carbon: tr,
+		SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}
+	want := mustFingerprint(t, base, jobs)
+
+	variants := map[string]struct {
+		cfg  Config
+		jobs *workload.Trace
+	}{
+		"policy": {Config{Policy: policy.LowestWindow{}, Carbon: tr,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}, jobs},
+		"carbon trace": {Config{Policy: policy.CarbonTime{}, Carbon: tr2,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}, jobs},
+		"workload": {base, jobs2},
+		"reserved": {Config{Policy: policy.CarbonTime{}, Carbon: tr, Reserved: 10,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}, jobs},
+		"work-conserving": {Config{Policy: policy.CarbonTime{}, Carbon: tr, WorkConserving: true,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}, jobs},
+		"eviction seed": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05, Seed: 99}, jobs},
+		"eviction rate": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.10}, jobs},
+		"spot bound": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			SpotMaxLen: 4 * simtime.Hour, EvictionRate: 0.05}, jobs},
+		"checkpointing": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05,
+			CheckpointInterval: simtime.Hour}, jobs},
+		"horizon": {Config{Policy: policy.CarbonTime{}, Carbon: tr, Horizon: 5 * simtime.Day,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}, jobs},
+		"avg-length override": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05,
+			AvgLengthOverride: map[workload.Queue]simtime.Duration{
+				workload.QueueLong: 7 * simtime.Hour,
+			}}, jobs},
+		"ecovisor percentile": {Config{Policy: policy.Ecovisor{ThresholdPercentile: 50}, Carbon: tr,
+			SpotMaxLen: 2 * simtime.Hour, EvictionRate: 0.05}, jobs},
+	}
+	for name, v := range variants {
+		if got := mustFingerprint(t, v.cfg, v.jobs); got == want {
+			t.Errorf("%s: fingerprint collides with base", name)
+		}
+	}
+
+	// Ecovisor's zero percentile means 30 — those must collide with each
+	// other, not with other percentiles.
+	e0 := mustFingerprint(t, Config{Policy: policy.Ecovisor{}, Carbon: tr}, jobs)
+	e30 := mustFingerprint(t, Config{Policy: policy.Ecovisor{ThresholdPercentile: 30}, Carbon: tr}, jobs)
+	if e0 != e30 {
+		t.Error("Ecovisor{} and Ecovisor{30} must fingerprint equal")
+	}
+}
+
+// TestFingerprintNotCacheable pins the bypass conditions: opaque CIS
+// implementations, unknown policies, per-job retention and nil inputs.
+func TestFingerprintNotCacheable(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	cases := map[string]Config{
+		"noisy CIS": {Policy: policy.CarbonTime{}, Carbon: tr,
+			CIS: carbon.NewNoisyService(tr, 0.05, 1)},
+		"retain jobs": {Policy: policy.CarbonTime{}, Carbon: tr, RetainJobs: true},
+		"no policy":   {Carbon: tr},
+		"no carbon":   {Policy: policy.CarbonTime{}},
+	}
+	for name, cfg := range cases {
+		if _, ok := cfg.Fingerprint(jobs); ok {
+			t.Errorf("%s: expected not fingerprintable", name)
+		}
+	}
+	if _, ok := (Config{Policy: policy.CarbonTime{}, Carbon: tr}).Fingerprint(nil); ok {
+		t.Error("nil jobs: expected not fingerprintable")
+	}
+
+	// The global retention override must also force a bypass, or the
+	// retained-vs-streaming differential suites would compare a cache
+	// hit against itself.
+	ForceRetainJobs(true)
+	defer ForceRetainJobs(false)
+	if _, ok := (Config{Policy: policy.CarbonTime{}, Carbon: tr}).Fingerprint(jobs); ok {
+		t.Error("ForceRetainJobs: expected not fingerprintable")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/runcache"
+)
+
+// renderAll renders every registered experiment at quick scale and
+// returns the outputs keyed by experiment ID.
+func renderAll(t *testing.T, label string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(All()))
+	for _, e := range All() {
+		res, err := e.Run(Quick)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", e.ID, label, err)
+		}
+		out[e.ID] = res.String()
+	}
+	return out
+}
+
+// TestFiguresIdenticalWithCache is the correctness bar of the simulation
+// cache: the entire figure suite must render byte-identically with the
+// cache off, cold, warm, and warm from a freshly written disk store. It
+// also asserts the cache is actually doing something — cross-figure hits
+// on the cold pass, memory hits on the warm pass, disk hits on the
+// disk-warm pass — so a silently disabled cache fails loudly.
+func TestFiguresIdenticalWithCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick-scale figure suite five times")
+	}
+	prev := ActiveCache()
+	defer SetCache(prev)
+	defer ResetCacheStats()
+
+	SetCache(nil)
+	want := renderAll(t, "cache off")
+
+	compare := func(label string, got map[string]string) {
+		t.Helper()
+		for id, text := range want {
+			if got[id] != text {
+				t.Errorf("%s: %s differs from cache-off render:\n--- cache off ---\n%s\n--- %s ---\n%s",
+					id, label, text, label, got[id])
+			}
+		}
+	}
+
+	// Cold and warm passes over one in-memory cache.
+	SetCache(runcache.New())
+	ResetCacheStats()
+	compare("cache cold", renderAll(t, "cache cold"))
+	if _, _, total := CacheStats(); total.Hits == 0 {
+		t.Error("cold pass: expected cross-figure cache hits, got none")
+	} else if total.Computed == 0 {
+		t.Error("cold pass: expected computed cells, got none")
+	}
+	ResetCacheStats()
+	compare("cache warm", renderAll(t, "cache warm"))
+	if _, _, total := CacheStats(); total.Computed != 0 {
+		t.Errorf("warm pass: %d cells re-simulated, want 0", total.Computed)
+	}
+
+	// Disk tier: one cache writes the store, a fresh one warms from it.
+	dir := t.TempDir()
+	seed := runcache.New()
+	seed.Logf = t.Logf
+	if err := seed.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	SetCache(seed)
+	ResetCacheStats()
+	compare("disk cold", renderAll(t, "disk cold"))
+
+	fresh := runcache.New()
+	fresh.Logf = t.Logf
+	if err := fresh.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	SetCache(fresh)
+	ResetCacheStats()
+	compare("disk warm", renderAll(t, "disk warm"))
+	if _, _, total := CacheStats(); total.DiskHits == 0 {
+		t.Error("disk-warm pass: expected disk hits, got none")
+	} else if total.Computed != 0 {
+		t.Errorf("disk-warm pass: %d cells re-simulated, want 0", total.Computed)
+	}
+}

@@ -11,6 +11,12 @@ func TestSweepDeterminism(t *testing.T) {
 		t.Skip("runs full quick-scale sweeps several times")
 	}
 	defer SetParallelism(0)
+	// Disable the simulation cache: with it on, the repeated renders
+	// would be served from memory and the worker pool under test would
+	// never re-run a cell.
+	prev := ActiveCache()
+	SetCache(nil)
+	defer SetCache(prev)
 	ids := []string{"fig08", "fig11", "fig12"}
 	for _, id := range ids {
 		e, err := ByID(id)

@@ -40,10 +40,6 @@ func init() {
 func runX01Forecast(scale Scale) (fmt.Stringer, error) {
 	tr := regionTrace("SA-AU")
 	jobs := yearTrace("alibaba", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: tr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
 	seasonal, err := forecast.NewSeasonalNaive(tr, 28, 0.9)
 	if err != nil {
 		return nil, err
@@ -61,16 +57,24 @@ func runX01Forecast(scale Scale) (fmt.Stringer, error) {
 		{"noise 40%/day", carbon.NewNoisyService(tr, 0.40, seedCarbon+50)},
 		{"seasonal-naive (trained)", seasonal},
 	}
+	// Cell 0 is the shared NoWait baseline (cacheable across figures);
+	// the noisy/seasonal CIS rows bypass the cache by design.
+	cells := []cell{{cfg: core.Config{Policy: policy.NoWait{}, Carbon: tr, Horizon: horizon(scale)}, jobs: jobs}}
 	for _, r := range rows {
-		res, err := core.Run(core.Config{
+		cells = append(cells, cell{cfg: core.Config{
 			Policy:  policy.CarbonTime{},
 			Carbon:  tr,
 			CIS:     r.cis,
 			Horizon: horizon(scale),
-		}, jobs)
-		if err != nil {
-			return nil, err
-		}
+		}, jobs: jobs})
+	}
+	results, err := runCells("x01-forecast", cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, r := range rows {
+		res := results[i+1]
 		t.AddRowf(r.name,
 			res.TotalCarbon()/base.TotalCarbon(),
 			100*(1-res.TotalCarbon()/base.TotalCarbon()),
@@ -92,40 +96,37 @@ func runX01Forecast(scale Scale) (fmt.Stringer, error) {
 func runX02Estimates(scale Scale) (fmt.Stringer, error) {
 	tr := regionTrace("SA-AU")
 	jobs := yearTrace("alibaba", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: tr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
 	trueShort := jobs.MeanLengthByQueue(workload.QueueShort)
 	trueLong := jobs.MeanLengthByQueue(workload.QueueLong)
-	t := NewTable("Extension x02 — savings vs Javg estimate scale (Alibaba, SA-AU)",
-		"Javg scale", "LW carbon(norm)", "CT carbon(norm)", "LW wait(h)", "CT wait(h)")
-	for _, scaleF := range []float64{0.25, 0.5, 1, 2, 4} {
+	scales := []float64{0.25, 0.5, 1, 2, 4}
+	// Cell 0 is the shared NoWait baseline; then (LW, CT) per scale.
+	cells := []cell{{cfg: core.Config{Policy: policy.NoWait{}, Carbon: tr, Horizon: horizon(scale)}, jobs: jobs}}
+	for _, scaleF := range scales {
 		override := map[workload.Queue]simtime.Duration{
 			workload.QueueShort: simtime.Duration(float64(trueShort) * scaleF),
 			workload.QueueLong:  simtime.Duration(float64(trueLong) * scaleF),
 		}
-		run := func(p policy.Policy) (norm float64, waitH float64, err error) {
-			res, err := core.Run(core.Config{
+		for _, p := range []policy.Policy{policy.LowestWindow{}, policy.CarbonTime{}} {
+			cells = append(cells, cell{cfg: core.Config{
 				Policy:            p,
 				Carbon:            tr,
 				Horizon:           horizon(scale),
 				AvgLengthOverride: override,
-			}, jobs)
-			if err != nil {
-				return 0, 0, err
-			}
-			return res.TotalCarbon() / base.TotalCarbon(), res.MeanWaiting().Hours(), nil
+			}, jobs: jobs})
 		}
-		lwN, lwW, err := run(policy.LowestWindow{})
-		if err != nil {
-			return nil, err
-		}
-		ctN, ctW, err := run(policy.CarbonTime{})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf(scaleF, lwN, ctN, lwW, ctW)
+	}
+	results, err := runCells("x02-estimates", cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	t := NewTable("Extension x02 — savings vs Javg estimate scale (Alibaba, SA-AU)",
+		"Javg scale", "LW carbon(norm)", "CT carbon(norm)", "LW wait(h)", "CT wait(h)")
+	for i, scaleF := range scales {
+		lw, ct := results[1+2*i], results[2+2*i]
+		t.AddRowf(scaleF,
+			lw.TotalCarbon()/base.TotalCarbon(), ct.TotalCarbon()/base.TotalCarbon(),
+			lw.MeanWaiting().Hours(), ct.MeanWaiting().Hours())
 	}
 	t.Caption = "expectation: robust to severalfold estimate error (mildly favouring under-estimates, whose shorter windows lock onto troughs) — why coarse queue averages suffice"
 	return t, nil
@@ -138,10 +139,6 @@ func runX02Estimates(scale Scale) (fmt.Stringer, error) {
 func runX03Suspend(scale Scale) (fmt.Stringer, error) {
 	tr := regionTrace("SA-AU")
 	jobs := yearTrace("alibaba", scale)
-	base, err := core.Run(core.Config{Policy: policy.NoWait{}, Carbon: tr, Horizon: horizon(scale)}, jobs)
-	if err != nil {
-		return nil, err
-	}
 	t := NewTable("Extension x03 — suspend-resume without exact lengths (Alibaba, SA-AU)",
 		"policy", "knows J", "suspends", "carbon(norm)", "wait(h)")
 	rows := []struct {
@@ -154,11 +151,18 @@ func runX03Suspend(scale Scale) (fmt.Stringer, error) {
 		{policy.WaitAwhileEst{}, "avg", "yes"},
 		{policy.WaitAwhile{}, "exact", "yes"},
 	}
+	// Cell 0 is the shared NoWait baseline, then one cell per row.
+	cells := []cell{{cfg: core.Config{Policy: policy.NoWait{}, Carbon: tr, Horizon: horizon(scale)}, jobs: jobs}}
 	for _, r := range rows {
-		res, err := core.Run(core.Config{Policy: r.p, Carbon: tr, Horizon: horizon(scale)}, jobs)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{cfg: core.Config{Policy: r.p, Carbon: tr, Horizon: horizon(scale)}, jobs: jobs})
+	}
+	results, err := runCells("x03-suspend", cells)
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
+	for i, r := range rows {
+		res := results[i+1]
 		t.AddRowf(res.Label, r.knowsJ, r.susp,
 			res.TotalCarbon()/base.TotalCarbon(),
 			res.MeanWaiting().Hours())

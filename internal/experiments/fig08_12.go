@@ -81,7 +81,7 @@ func runFig08(Scale) (fmt.Stringer, error) {
 	for _, p := range policies {
 		cells = append(cells, cell{weekConfig(p, tr), jobs})
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig08", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -108,14 +108,17 @@ func runFig08(Scale) (fmt.Stringer, error) {
 // year-long Alibaba trace in South Australia. Paper: <1 h jobs ≈10 % of
 // savings, 3-12 h ≈50 %, >24 h ≈7.5 %.
 func runFig09(scale Scale) (fmt.Stringer, error) {
-	res, err := core.Run(core.Config{
-		Policy: policy.CarbonTime{},
-		Carbon: regionTrace("SA-AU"),
-	}, yearTrace("alibaba", scale))
+	results, err := runCells("fig09", []cell{{
+		cfg: core.Config{
+			Policy: policy.CarbonTime{},
+			Carbon: regionTrace("SA-AU"),
+		},
+		jobs: yearTrace("alibaba", scale),
+	}})
 	if err != nil {
 		return nil, err
 	}
-	cdf := res.SavingsByLengthCDF()
+	cdf := results[0].SavingsByLengthCDF()
 	t := NewTable("Figure 9 — cumulative fraction of carbon savings by job length",
 		"job length ≤", "savings fraction")
 	points := []struct {
@@ -161,7 +164,7 @@ func runFig10(Scale) (fmt.Stringer, error) {
 		mk(policy.CarbonTime{}, false),
 		mk(policy.CarbonTime{}, true), // RES-First-Carbon-Time
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig10", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +210,7 @@ func runFig11(Scale) (fmt.Stringer, error) {
 		cells = append(cells, cell{cfg, jobs})
 		sizes = append(sizes, r)
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig11", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +253,7 @@ func runFig12(Scale) (fmt.Stringer, error) {
 	add("Spot-RES-Carbon-Time", policy.CarbonTime{}, rHalf, true, true)
 	add("Spot-RES-Carbon-Time", policy.CarbonTime{}, rThird, true, true)
 
-	results, err := runCells(cells)
+	results, err := runCells("fig12", cells)
 	if err != nil {
 		return nil, err
 	}

@@ -72,7 +72,7 @@ func runFig13(scale Scale) (fmt.Stringer, error) {
 			cells = append(cells, cell{core.Config{Policy: p, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
 		}
 	}
-	all, err := runCells(cells)
+	all, err := runCells("fig13", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +139,7 @@ func runFig14(scale Scale) (fmt.Stringer, error) {
 			mk(policy.LowestWindow{}, 6*simtime.Hour, simtime.Duration(w)*simtime.Hour),
 			mk(policy.CarbonTime{}, 6*simtime.Hour, simtime.Duration(w)*simtime.Hour))
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig14", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +186,7 @@ func runFig15(scale Scale) (fmt.Stringer, error) {
 				cell{core.Config{Policy: policy.CarbonTime{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
 		}
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig15", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +218,7 @@ func runFig16(scale Scale) (fmt.Stringer, error) {
 			cell{core.Config{Policy: policy.NoWait{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs},
 			cell{core.Config{Policy: policy.CarbonTime{}, Carbon: carbonTr, Horizon: horizon(scale)}, jobs})
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig16", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +268,7 @@ func runFig17(scale Scale) (fmt.Stringer, error) {
 			}, jobs})
 		}
 	}
-	all, err := runCells(cells)
+	all, err := runCells("fig17", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +316,7 @@ func runFig18(scale Scale) (fmt.Stringer, error) {
 			}, jobs})
 		}
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig18", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +368,7 @@ func runFig19(scale Scale) (fmt.Stringer, error) {
 			points = append(points, point{jmax, r})
 		}
 	}
-	results, err := runCells(cells)
+	results, err := runCells("fig19", cells)
 	if err != nil {
 		return nil, err
 	}

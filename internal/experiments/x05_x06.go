@@ -48,7 +48,7 @@ func runX05Checkpoint(scale Scale) (fmt.Stringer, error) {
 			}, jobs})
 		}
 	}
-	results, err := runCells(cells)
+	results, err := runCells("x05-checkpoint", cells)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +88,7 @@ func runX06Spatial(scale Scale) (fmt.Stringer, error) {
 		regions = append(regions, tr)
 		cells = append(cells, cell{core.Config{Policy: policy.CarbonTime{}, Carbon: tr, Horizon: horizon(scale)}, jobs})
 	}
-	results, err := runCells(cells)
+	results, err := runCells("x06-spatial", cells)
 	if err != nil {
 		return nil, err
 	}

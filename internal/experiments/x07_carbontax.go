@@ -51,7 +51,7 @@ func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
 
 	// Baselines on the Texas grid (carbon-agnostic, carbon-optimal, and
 	// the carbon-agnostic energy bill) run as one parallel batch.
-	baselines, err := runCells([]cell{
+	baselines, err := runCells("x07-carbontax", []cell{
 		{core.Config{Policy: policy.NoWait{}, Carbon: ci, Horizon: horizon(scale)}, jobs},
 		{core.Config{Policy: policy.LowestWindow{}, Carbon: ci, Horizon: horizon(scale)}, jobs},
 		{core.Config{Policy: policy.NoWait{}, Carbon: priceTrace, Horizon: horizon(scale)}, jobs},

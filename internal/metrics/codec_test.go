@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// codecFixture builds an accumulator with every field exercised,
+// including non-trivial float bit patterns and usage bins grown past the
+// initial horizon.
+func codecFixture() *Accumulator {
+	a := NewAccumulator(5, 3*simtime.Hour)
+	for i := 0; i < 5; i++ {
+		a.AddJob(&JobResult{
+			JobID:          i,
+			Queue:          1,
+			Waiting:        simtime.Duration(i * 17),
+			Length:         simtime.Duration(100 + i),
+			Carbon:         1.0 / float64(i+3),
+			BaselineCarbon: math.Pi * float64(i),
+			UsageCost:      0.0624 * float64(i),
+			CPUHours:       [3]float64{float64(i), 0.5, 1e-9},
+			Evictions:      i % 2,
+			WastedCPUHours: 0.25,
+			WastedCarbon:   0.125,
+			WastedCost:     1e-3,
+		})
+	}
+	a.AddUsage(simtime.Interval{Start: 30, End: 400}, 2, 1, 0)
+	// Spill past the sized horizon so decoded bin growth is covered.
+	a.AddUsage(simtime.Interval{Start: 200, End: 6*60 + 30}, 0, 0, 3)
+	return a
+}
+
+// TestCodecRoundTrip pins the bit-exactness contract: a decoded
+// accumulator is deep-equal to the original, private state included.
+func TestCodecRoundTrip(t *testing.T) {
+	a := codecFixture()
+	data := EncodeAccumulator(a)
+	got, err := DecodeAccumulator(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+}
+
+// TestCodecRoundTripEmpty covers the zero-job, zero-horizon corner.
+func TestCodecRoundTripEmpty(t *testing.T) {
+	a := NewAccumulator(0, 0)
+	got, err := DecodeAccumulator(EncodeAccumulator(a))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Errorf("round-trip mismatch: got %+v want %+v", got, a)
+	}
+}
+
+// TestDecodeRejectsDamage feeds the decoder every class of bad input it
+// must survive: truncations at each boundary, single-bit corruption,
+// version/magic skew, and trailing garbage. All must error; none may
+// panic or return a partial accumulator.
+func TestDecodeRejectsDamage(t *testing.T) {
+	data := EncodeAccumulator(codecFixture())
+
+	if _, err := DecodeAccumulator(nil); err == nil {
+		t.Error("nil input: want error")
+	}
+	for _, n := range []int{1, 7, 8, 16, 24, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeAccumulator(data[:n]); err == nil {
+			t.Errorf("truncated to %d bytes: want error", n)
+		}
+	}
+	for _, off := range []int{0, 8, 16, 24, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		if _, err := DecodeAccumulator(bad); err == nil {
+			t.Errorf("bit flip at offset %d: want error", off)
+		}
+	}
+	if _, err := DecodeAccumulator(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing garbage: want error")
+	}
+}
+
+// appendCRC re-checksums a mutated body, producing a blob that passes the
+// crc so the structural checks behind it are reached.
+func appendCRC(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+// TestDecodeRejectsVersionSkew re-checksums otherwise valid blobs with a
+// bumped version or magic byte, isolating those checks from the crc.
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	data := EncodeAccumulator(codecFixture())
+	body := append([]byte(nil), data[:len(data)-4]...)
+	body[8]++ // codec version field (first byte of the u64 after magic)
+	if _, err := DecodeAccumulator(appendCRC(body)); err == nil {
+		t.Error("bumped codec version: want error")
+	}
+	body2 := append([]byte(nil), data[:len(data)-4]...)
+	body2[7]++ // magic generation byte
+	if _, err := DecodeAccumulator(appendCRC(body2)); err == nil {
+		t.Error("bumped magic generation: want error")
+	}
+	// A corrupted length prefix must be caught by the bounds check, not
+	// drive a huge allocation: nJobs lives right after magic+version.
+	body3 := append([]byte(nil), data[:len(data)-4]...)
+	body3[16] = 0xFF
+	body3[17] = 0xFF
+	if _, err := DecodeAccumulator(appendCRC(body3)); err == nil {
+		t.Error("corrupt job count: want error")
+	}
+}

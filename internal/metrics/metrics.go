@@ -132,6 +132,12 @@ type resultMemo struct {
 // accumulator, so the two modes are observationally identical.
 func (r *Result) AttachAccumulator(a *Accumulator) { r.agg = a }
 
+// Accumulator returns the attached streaming accumulator, or nil for
+// hand-built results. Callers treat it as immutable: the simulation cache
+// shares one accumulator across every Result rebuilt from the same cached
+// run.
+func (r *Result) Accumulator() *Accumulator { return r.agg }
+
 // JobCount returns the number of jobs in the run, independent of whether
 // per-job records were retained.
 func (r *Result) JobCount() int {

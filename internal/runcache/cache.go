@@ -1,0 +1,253 @@
+// Package runcache is a two-tier content-addressed cache for simulation
+// results. Tier 1 is an in-memory single-flight map: every core.Run routed
+// through a Cache first derives the canonical fingerprint of its inputs
+// (core.Config.Fingerprint, which folds in the memoized carbon- and
+// workload-trace hashes), and duplicate cells — the same (policy, region,
+// workload, reserved, ...) appearing in several figures — block on the one
+// in-flight computation instead of re-running it. Tier 2 is an optional
+// on-disk store of encoded accumulators (internal/metrics codec), so a
+// warm re-run of the whole figure suite skips simulation entirely.
+//
+// Correctness contract: a cached cell is indistinguishable from a
+// recomputed one. The cache stores only the immutable streaming
+// accumulator; every requester gets a private metrics.Result rebuilt from
+// its own canonical config (label, pricing, horizon, region), exactly as
+// core.Run would have assembled it. Disk entries are versioned
+// (fingerprint layout, codec version, store version all participate in
+// the key) and checksummed; any mismatch, truncation or corruption is
+// logged and silently recomputed — a bad cache can cost time, never
+// correctness.
+package runcache
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// StoreVersion names the on-disk entry format (file naming and contents
+// beyond the accumulator codec itself). Bump to orphan all old files.
+const StoreVersion = 1
+
+// Outcome classifies how one Run request was served.
+type Outcome int
+
+const (
+	// Computed: this call ran the simulation (and primed the cache).
+	Computed Outcome = iota
+	// Hit: served from an already-completed in-memory entry.
+	Hit
+	// Dedup: blocked on another caller's in-flight computation of the
+	// same cell, then shared its accumulator.
+	Dedup
+	// DiskHit: decoded from the on-disk store, no simulation.
+	DiskHit
+	// Bypass: the configuration is not cacheable (unknown policy or CIS,
+	// per-job retention); the simulation ran directly.
+	Bypass
+)
+
+// String returns the lower-case outcome name used in cache-stats lines.
+func (o Outcome) String() string {
+	switch o {
+	case Computed:
+		return "computed"
+	case Hit:
+		return "hit"
+	case Dedup:
+		return "dedup"
+	case DiskHit:
+		return "disk-hit"
+	case Bypass:
+		return "bypass"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Avoided reports whether the outcome skipped a simulation this process
+// would otherwise have paid for.
+func (o Outcome) Avoided() bool { return o == Hit || o == Dedup || o == DiskHit }
+
+// entry is one cell's single-flight slot. The leader (whoever inserted
+// it) closes done after setting acc or err; the channel close publishes
+// both to waiters.
+type entry struct {
+	done chan struct{}
+	acc  *metrics.Accumulator
+	err  error
+}
+
+// Cache deduplicates simulation runs by content fingerprint. The zero
+// value is not ready; use New.
+type Cache struct {
+	// Logf receives diagnostics about unusable disk entries (corruption,
+	// version skew, IO errors). Defaults to log.Printf; replace before
+	// first use. Never called on the happy path.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	entries map[[32]byte]*entry
+	dir     string // "" = in-memory tier only
+}
+
+// New returns an empty in-memory cache. Call SetDir to add the disk tier.
+func New() *Cache {
+	return &Cache{Logf: log.Printf, entries: make(map[[32]byte]*entry)}
+}
+
+// SetDir attaches the on-disk store rooted at dir, creating it if needed.
+func (c *Cache) SetDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// Run serves one simulation cell through the cache: it returns the same
+// (Result, error) core.Run(cfg, jobs) would, plus how the request was
+// served. Results rebuilt from cache are bit-identical to fresh ones.
+// Errors are never cached — a failing cell re-simulates on every request.
+func (c *Cache) Run(cfg core.Config, jobs *workload.Trace) (*metrics.Result, Outcome, error) {
+	fp, ok := cfg.Fingerprint(jobs)
+	if !ok {
+		res, err := core.Run(cfg, jobs)
+		return res, Bypass, err
+	}
+	canon := cfg.Canonical()
+
+	c.mu.Lock()
+	if e, exists := c.entries[fp]; exists {
+		// Completed entry → Hit; still in flight → Dedup. The split is
+		// informational only, so the non-blocking probe racing a close
+		// is harmless.
+		outcome := Dedup
+		select {
+		case <-e.done:
+			outcome = Hit
+		default:
+		}
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			// The leader failed and removed the entry; the error is
+			// deterministic for these inputs, so share it.
+			return nil, outcome, e.err
+		}
+		return buildResult(canon, jobs, e.acc), outcome, nil
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[fp] = e
+	dir := c.dir
+	c.mu.Unlock()
+
+	outcome := Computed
+	acc := c.loadDisk(dir, fp)
+	if acc != nil {
+		outcome = DiskHit
+	} else {
+		res, err := core.Run(canon, jobs)
+		if err != nil {
+			c.mu.Lock()
+			delete(c.entries, fp)
+			c.mu.Unlock()
+			e.err = err
+			close(e.done)
+			return nil, Computed, err
+		}
+		acc = res.Accumulator()
+		c.storeDisk(dir, fp, acc)
+	}
+	e.acc = acc
+	close(e.done)
+	return buildResult(canon, jobs, acc), outcome, nil
+}
+
+// buildResult assembles the Result core.Run would have returned for this
+// canonical config around a (shared, immutable) accumulator. It mirrors
+// the literal at the end of core.Run exactly: streaming runs carry no
+// per-job records, and every identity field comes from the requester's
+// own canonical config, so two callers sharing one accumulator still get
+// their own labels.
+func buildResult(canon core.Config, jobs *workload.Trace, acc *metrics.Accumulator) *metrics.Result {
+	res := &metrics.Result{
+		Label:    canon.Label,
+		Region:   canon.Carbon.Region(),
+		Workload: jobs.Name,
+		Reserved: canon.Reserved,
+		Horizon:  canon.Horizon,
+		Pricing:  canon.Pricing,
+	}
+	res.AttachAccumulator(acc)
+	return res
+}
+
+// entryPath names a disk entry. The fingerprint layout version is already
+// folded into fp; the codec and store versions are spelled out in the file
+// name, so entries written by an incompatible binary simply never match.
+func entryPath(dir string, fp [32]byte) string {
+	name := fmt.Sprintf("%s.c%d.s%d.gacc", hex.EncodeToString(fp[:]), metrics.CodecVersion, StoreVersion)
+	return filepath.Join(dir, name)
+}
+
+// loadDisk fetches and decodes a disk entry, returning nil on any miss or
+// problem. Absent files are silent; anything else is logged.
+func (c *Cache) loadDisk(dir string, fp [32]byte) *metrics.Accumulator {
+	if dir == "" {
+		return nil
+	}
+	path := entryPath(dir, fp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.Logf("runcache: reading %s: %v (recomputing)", path, err)
+		}
+		return nil
+	}
+	acc, err := metrics.DecodeAccumulator(data)
+	if err != nil {
+		c.Logf("runcache: decoding %s: %v (recomputing)", path, err)
+		return nil
+	}
+	return acc
+}
+
+// storeDisk persists an accumulator, atomically: the entry is written to
+// a temp file in the same directory and renamed into place, so concurrent
+// readers (a cold and a warm suite sharing one cache dir) only ever see
+// complete entries. Failures are logged and otherwise ignored — the store
+// is an accelerator, not a system of record.
+func (c *Cache) storeDisk(dir string, fp [32]byte, acc *metrics.Accumulator) {
+	if dir == "" {
+		return
+	}
+	path := entryPath(dir, fp)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		c.Logf("runcache: creating temp entry in %s: %v", dir, err)
+		return
+	}
+	data := metrics.EncodeAccumulator(acc)
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), path)
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		c.Logf("runcache: writing %s: %v", path, err)
+	}
+}

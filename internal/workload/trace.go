@@ -1,9 +1,12 @@
 package workload
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/stats"
@@ -14,6 +17,54 @@ import (
 type Trace struct {
 	Name string
 	Jobs []Job
+}
+
+// fingerprints memoizes Trace.Fingerprint per trace instance. The memo is
+// a side table (rather than a field) so Trace stays a plain copyable
+// struct; traces are long-lived fixtures, so entries are never evicted.
+var fingerprints sync.Map // *Trace → *[32]byte
+
+// Fingerprint returns a content hash of the trace's scheduling-relevant
+// content: the name and every job's ID, arrival, length, CPU demand and
+// user. The Queue tag is deliberately excluded — the core scheduler
+// re-classifies each job from its length and the configured queue bounds,
+// so the tag never influences a simulation result (and AssignQueues may
+// rewrite it on a trace that is otherwise shared immutably).
+//
+// The hash is memoized per trace instance on first use; callers must not
+// mutate jobs after fingerprinting (the same immutability the concurrent
+// sweep engine already relies on). It is the workload half of the
+// content-addressed simulation cache key.
+func (t *Trace) Fingerprint() [32]byte {
+	if fp, ok := fingerprints.Load(t); ok {
+		return *fp.(*[32]byte)
+	}
+	h := sha256.New()
+	var buf [8]byte
+	le := binary.LittleEndian
+	le.PutUint64(buf[:], uint64(len(t.Name)))
+	h.Write(buf[:])
+	h.Write([]byte(t.Name))
+	le.PutUint64(buf[:], uint64(len(t.Jobs)))
+	h.Write(buf[:])
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		le.PutUint64(buf[:], uint64(j.ID))
+		h.Write(buf[:])
+		le.PutUint64(buf[:], uint64(j.Arrival))
+		h.Write(buf[:])
+		le.PutUint64(buf[:], uint64(j.Length))
+		h.Write(buf[:])
+		le.PutUint64(buf[:], uint64(j.CPUs))
+		h.Write(buf[:])
+		le.PutUint64(buf[:], uint64(len(j.User)))
+		h.Write(buf[:])
+		h.Write([]byte(j.User))
+	}
+	fp := new([32]byte)
+	h.Sum(fp[:0])
+	fingerprints.Store(t, fp)
+	return *fp
 }
 
 // NewTrace builds a trace, sorting jobs by arrival and re-numbering IDs in
