@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-check figures figures-full examples clean
+.PHONY: all build vet lint test race cover bench bench-json bench-check figures figures-full examples serve clean
 
 all: build lint test race bench-check
 
@@ -42,10 +42,10 @@ bench:
 # regressions against BENCH_BASELINE, the previous PR's snapshot (only
 # benchmarks present in both are compared, so new benchmarks simply
 # start their history in the new snapshot).
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_LABEL ?= pr4
-BENCH_BASELINE ?= BENCH_PR3.json
-BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint
+BENCH_JSON ?= BENCH_PR5.json
+BENCH_LABEL ?= pr5
+BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|SimulateColdVsWarm
 # -count=3: gaia-bench keeps each benchmark's fastest sample, which damps
 # scheduler noise on shared machines enough for the 15% gate to be stable.
 bench-json:
@@ -65,6 +65,12 @@ figures-full:
 
 examples:
 	@for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d || exit 1; done
+
+# Run the advisory service locally (ctrl-C drains gracefully). Override
+# SERVE_FLAGS for knobs, e.g. make serve SERVE_FLAGS='-addr :9000'.
+SERVE_FLAGS ?=
+serve:
+	$(GO) run ./cmd/gaia-serve $(SERVE_FLAGS)
 
 clean:
 	rm -rf results-quick

@@ -7,8 +7,13 @@ package gaia
 // simulator performance. Use cmd/gaia-exp -full for paper-scale output.
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +23,7 @@ import (
 	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/runcache"
+	"github.com/carbonsched/gaia/internal/serve"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/workload"
 )
@@ -328,4 +334,76 @@ func BenchmarkWaitAwhilePlan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = p.Decide(job, simtime.Time(i%100000), ctx)
 	}
+}
+
+// newBenchServer builds a small advisory service for the HTTP-layer
+// benchmarks and returns its base URL.
+func newBenchServer(b *testing.B) string {
+	b.Helper()
+	srv, err := serve.New(serve.Config{
+		TraceDays:     7,
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		QueueDepth:    1024,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func benchPost(b *testing.B, url, body string, want int) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		b.Fatalf("status = %d, want %d", resp.StatusCode, want)
+	}
+}
+
+// BenchmarkAdviseThroughput measures end-to-end /v1/advise requests —
+// HTTP decode, admission, an oracle-table policy decision and the carbon
+// arithmetic — under client parallelism. This is the serving fast path:
+// each request must stay in O(1) table lookups, never a trace scan.
+func BenchmarkAdviseThroughput(b *testing.B) {
+	url := newBenchServer(b) + "/v1/advise"
+	body := `{"policy":"carbon-time","region":"CA-US","length_minutes":120,"arrival_minute":300}`
+	benchPost(b, url, body, http.StatusOK) // warm the tables outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchPost(b, url, body, http.StatusOK)
+		}
+	})
+}
+
+// BenchmarkSimulateColdVsWarm measures one /v1/simulate cell against a
+// cold run cache (every iteration simulates a fresh cell) versus a warm
+// one (every iteration is a content-addressed cache hit). The gap is
+// what coalescing+caching gives interactive what-if clients.
+func BenchmarkSimulateColdVsWarm(b *testing.B) {
+	url := newBenchServer(b) + "/v1/simulate"
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(`{"policy":"carbon-time","region":"SA-AU","jobs":200,"days":2,"seed":%d}`, i+1)
+			benchPost(b, url, body, http.StatusOK)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		body := `{"policy":"carbon-time","region":"SA-AU","jobs":200,"days":2,"seed":999}`
+		benchPost(b, url, body, http.StatusOK) // prime outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, url, body, http.StatusOK)
+		}
+	})
 }

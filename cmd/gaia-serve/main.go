@@ -1,0 +1,99 @@
+// Command gaia-serve runs the carbon-aware scheduling advisory service:
+// a long-running HTTP server answering online "when should this job
+// start?" queries (POST /v1/advise) and full what-if simulations
+// (POST /v1/simulate) over the same policy implementations, oracle
+// tables and run cache the offline tools use.
+//
+// Examples:
+//
+//	# Serve on the default port with a 14-day advisory horizon:
+//	gaia-serve
+//
+//	# Persistent simulation cache and tighter load shedding:
+//	gaia-serve -cache-dir /var/cache/gaia -max-concurrent 8 -queue-depth 32
+//
+//	# Ask for advice:
+//	curl -s localhost:8404/v1/advise -d '{"policy":"carbon-time","region":"CA-US","length_minutes":120}'
+//
+// SIGINT/SIGTERM drain gracefully: queued requests are shed with 503,
+// in-flight work finishes (up to -drain-timeout), then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/carbonsched/gaia/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "gaia-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gaia-serve", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8404", "listen address")
+		traceDays     = fs.Int("trace-days", 14, "advisory carbon-trace horizon in days")
+		maxConcurrent = fs.Int("max-concurrent", 4, "requests doing work at once")
+		queueDepth    = fs.Int("queue-depth", 64, "requests waiting beyond max-concurrent before 429s")
+		adviseTO      = fs.Duration("advise-timeout", 2*time.Second, "per-request /v1/advise deadline")
+		simulateTO    = fs.Duration("simulate-timeout", 120*time.Second, "per-request /v1/simulate deadline")
+		drainTO       = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		retryAfter    = fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		cacheDir      = fs.String("cache-dir", "", "simulation result cache directory (empty = memory only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Addr:            *addr,
+		TraceDays:       *traceDays,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		AdviseTimeout:   *adviseTO,
+		SimulateTimeout: *simulateTO,
+		RetryAfter:      *retryAfter,
+		CacheDir:        *cacheDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	log.Printf("gaia-serve: listening on %s (advisory horizon %d days)", *addr, *traceDays)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("gaia-serve: draining (up to %v)", *drainTO)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("gaia-serve: drained, bye")
+	return nil
+}

@@ -204,27 +204,10 @@ func runPrototype(cfg batch.Config, jobs *workload.Trace) error {
 	return nil
 }
 
+// policyByName delegates to the shared tag registry in internal/policy,
+// so the CLI and the serving API accept exactly the same names.
 func policyByName(name string) (policy.Policy, error) {
-	switch strings.ToLower(name) {
-	case "nowait":
-		return policy.NoWait{}, nil
-	case "allwait":
-		return policy.AllWait{}, nil
-	case "lowest-slot":
-		return policy.LowestSlot{}, nil
-	case "lowest-window":
-		return policy.LowestWindow{}, nil
-	case "carbon-time":
-		return policy.CarbonTime{}, nil
-	case "wait-awhile":
-		return policy.WaitAwhile{}, nil
-	case "wait-awhile-est":
-		return policy.WaitAwhileEst{}, nil
-	case "ecovisor":
-		return policy.Ecovisor{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
+	return policy.ByName(name)
 }
 
 func parseWaits(s string) (short, long simtime.Duration, err error) {

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+func contextTestFixture() (Config, *workload.Trace) {
+	tr := carbon.RegionSAAU.Generate(24*10, 1)
+	jobs := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(3)), 500, simtime.Week)
+	cfg := Config{
+		Policy:         policy.CarbonTime{},
+		Carbon:         tr,
+		Reserved:       20,
+		WorkConserving: true,
+	}
+	return cfg, jobs
+}
+
+// TestRunContextCanceled verifies a pre-canceled context stops the run
+// with the context's error instead of a result.
+func TestRunContextCanceled(t *testing.T) {
+	cfg, jobs := contextTestFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, cfg, jobs)
+	if res != nil {
+		t.Fatalf("canceled run returned a result: %v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextMatchesRun pins that an uncancelled RunContext is
+// bit-identical to Run: the interrupt probe must not perturb the event
+// sequence or the accounting.
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg, jobs := contextTestFixture()
+	plain, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := RunContext(context.Background(), cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Background has no Done channel, so no probe is installed at all —
+	// but exercise a live (never canceled) context too.
+	live, liveCancel := context.WithCancel(context.Background())
+	defer liveCancel()
+	liveRes, err := RunContext(live, cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]*struct {
+		carbon, cost float64
+		wait         simtime.Duration
+		n            int
+	}{
+		"background": {ctxRes.TotalCarbon(), ctxRes.TotalCost(), ctxRes.TotalWaiting(), ctxRes.JobCount()},
+		"live":       {liveRes.TotalCarbon(), liveRes.TotalCost(), liveRes.TotalWaiting(), liveRes.JobCount()},
+	} {
+		want := &struct {
+			carbon, cost float64
+			wait         simtime.Duration
+			n            int
+		}{plain.TotalCarbon(), plain.TotalCost(), plain.TotalWaiting(), plain.JobCount()}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s RunContext diverged from Run: got %+v want %+v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// byTag maps the lower-case wire/CLI tag of every policy to its value.
+// Tags are the stable external names (gaia-sim flags, scenario files, the
+// serving API); Policy.Name returns the paper's display name instead.
+var byTag = map[string]Policy{
+	"nowait":          NoWait{},
+	"allwait":         AllWait{},
+	"lowest-slot":     LowestSlot{},
+	"lowest-window":   LowestWindow{},
+	"carbon-time":     CarbonTime{},
+	"wait-awhile":     WaitAwhile{},
+	"wait-awhile-est": WaitAwhileEst{},
+	"ecovisor":        Ecovisor{},
+}
+
+// ByName resolves a policy tag (case-insensitive) to its implementation.
+// It is the single parsing point shared by the CLI tools and the serving
+// API, so every surface accepts exactly the same tags.
+func ByName(name string) (Policy, error) {
+	if p, ok := byTag[strings.ToLower(name)]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, Names())
+}
+
+// Names returns every accepted policy tag, sorted.
+func Names() []string {
+	out := make([]string, 0, len(byTag))
+	for tag := range byTag {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}

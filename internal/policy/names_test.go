@@ -1,0 +1,34 @@
+package policy
+
+import "testing"
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, tag := range Names() {
+		p, err := ByName(tag)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tag, err)
+		}
+		if p == nil {
+			t.Fatalf("ByName(%q) returned nil policy", tag)
+		}
+	}
+	// Case-insensitive.
+	if _, err := ByName("Carbon-Time"); err != nil {
+		t.Fatalf("ByName is not case-insensitive: %v", err)
+	}
+	if _, err := ByName("no-such-policy"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names() has %d entries, want 8", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+}

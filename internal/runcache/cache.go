@@ -20,6 +20,7 @@
 package runcache
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
@@ -119,9 +120,23 @@ func (c *Cache) SetDir(dir string) error {
 // served. Results rebuilt from cache are bit-identical to fresh ones.
 // Errors are never cached — a failing cell re-simulates on every request.
 func (c *Cache) Run(cfg core.Config, jobs *workload.Trace) (*metrics.Result, Outcome, error) {
+	return c.RunContext(context.Background(), cfg, jobs)
+}
+
+// RunContext is Run with cooperative cancellation, for serving layers
+// whose clients may disconnect mid-simulation. A caller that becomes the
+// single-flight leader passes ctx down to core.RunContext, so cancellation
+// actually stops the event loop; a caller that joins an in-flight
+// computation stops waiting when its own ctx is done, while the leader's
+// computation keeps running for the remaining waiters. A canceled leader's
+// error is shared with its waiters but — like every error — never cached,
+// so the next request for the cell simply recomputes it. Serving layers
+// that coalesce requests should therefore cancel the leader's ctx only
+// when no requester remains interested (see internal/serve).
+func (c *Cache) RunContext(ctx context.Context, cfg core.Config, jobs *workload.Trace) (*metrics.Result, Outcome, error) {
 	fp, ok := cfg.Fingerprint(jobs)
 	if !ok {
-		res, err := core.Run(cfg, jobs)
+		res, err := core.RunContext(ctx, cfg, jobs)
 		return res, Bypass, err
 	}
 	canon := cfg.Canonical()
@@ -138,7 +153,11 @@ func (c *Cache) Run(cfg core.Config, jobs *workload.Trace) (*metrics.Result, Out
 		default:
 		}
 		c.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, outcome, ctx.Err()
+		}
 		if e.err != nil {
 			// The leader failed and removed the entry; the error is
 			// deterministic for these inputs, so share it.
@@ -156,7 +175,7 @@ func (c *Cache) Run(cfg core.Config, jobs *workload.Trace) (*metrics.Result, Out
 	if acc != nil {
 		outcome = DiskHit
 	} else {
-		res, err := core.Run(canon, jobs)
+		res, err := core.RunContext(ctx, canon, jobs)
 		if err != nil {
 			c.mu.Lock()
 			delete(c.entries, fp)

@@ -1,0 +1,81 @@
+package runcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/core"
+)
+
+// TestRunContextCanceledLeaderNotCached verifies a canceled leader's
+// error is returned but never cached: the next request recomputes and
+// succeeds.
+func TestRunContextCanceledLeaderNotCached(t *testing.T) {
+	cfg, jobs := fixture(t)
+	c := New()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.RunContext(ctx, cfg, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled leader err = %v, want context.Canceled", err)
+	}
+
+	res, outcome, err := c.Run(cfg, jobs)
+	if err != nil {
+		t.Fatalf("recompute after cancel failed: %v", err)
+	}
+	if outcome != Computed {
+		t.Fatalf("outcome after canceled leader = %v, want computed (errors are never cached)", outcome)
+	}
+	if res.JobCount() != jobs.Len() {
+		t.Fatalf("recomputed result has %d jobs, want %d", res.JobCount(), jobs.Len())
+	}
+}
+
+// TestRunContextCanceledWaiter verifies a waiter whose own context ends
+// stops waiting with its context error while the leader completes and
+// primes the cache normally.
+func TestRunContextCanceledWaiter(t *testing.T) {
+	cfg, jobs := fixture(t)
+	c := New()
+
+	// Occupy the single-flight slot by hand so the waiter deterministically
+	// joins an in-flight entry.
+	fp, ok := cfg.Fingerprint(jobs)
+	if !ok {
+		t.Fatal("fixture config unexpectedly not fingerprintable")
+	}
+	e := &entry{done: make(chan struct{})}
+	c.mu.Lock()
+	c.entries[fp] = e
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, outcome, err := c.RunContext(ctx, cfg, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v (outcome %v), want context.Canceled", err, outcome)
+	} else if outcome != Dedup {
+		t.Fatalf("canceled waiter outcome = %v, want dedup", outcome)
+	}
+
+	// "Leader" finishes: publish a real accumulator and check new callers
+	// are served from it.
+	res, err := core.Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.acc = res.Accumulator()
+	close(e.done)
+
+	cached, outcome, err := c.Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Hit {
+		t.Fatalf("outcome after publish = %v, want hit", outcome)
+	}
+	if cached.JobCount() != res.JobCount() {
+		t.Fatalf("cached job count %d != computed %d", cached.JobCount(), res.JobCount())
+	}
+}

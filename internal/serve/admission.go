@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Sentinel admission outcomes. Handlers translate them to HTTP statuses:
+// a full queue is the client's signal to back off and retry (429 +
+// Retry-After), while draining means this process is going away and the
+// request should be re-sent elsewhere (503).
+var (
+	errQueueFull = errors.New("serve: admission queue full")
+	errDraining  = errors.New("serve: server draining")
+)
+
+// admission is the bounded gate in front of the work endpoints. It
+// provides two-stage load shedding: at most maxConcurrent requests run at
+// once, at most queueDepth more wait for a running slot, and anything
+// beyond that is shed immediately with errQueueFull — the server never
+// builds an unbounded backlog of goroutines it cannot serve before their
+// clients give up. Once startDrain is called, queued-but-unstarted
+// requests are released with errDraining while already-running requests
+// finish normally.
+type admission struct {
+	queue chan struct{} // slots held while waiting for a running slot
+	run   chan struct{} // slots held while the handler does work
+	drain chan struct{} // closed by startDrain
+	once  sync.Once
+
+	mu        sync.Mutex
+	shedFull  int64 // requests rejected with errQueueFull
+	shedDrain int64 // requests rejected with errDraining
+}
+
+func newAdmission(queueDepth, maxConcurrent int) *admission {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &admission{
+		queue: make(chan struct{}, queueDepth),
+		run:   make(chan struct{}, maxConcurrent),
+		drain: make(chan struct{}),
+	}
+}
+
+// acquire admits one request, blocking in the bounded queue until a
+// running slot frees up. On success the caller must invoke release when
+// its work is done. The error is errQueueFull (shed, queue at capacity),
+// errDraining (shed, server shutting down) or the caller's own context
+// error (client gave up while queued).
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.draining() {
+		a.count(&a.shedDrain)
+		return nil, errDraining
+	}
+	// Fast path: a free running slot admits without touching the queue.
+	select {
+	case a.run <- struct{}{}:
+		return a.releaseRun, nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.count(&a.shedFull)
+		return nil, errQueueFull
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.run <- struct{}{}:
+		return a.releaseRun, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-a.drain:
+		a.count(&a.shedDrain)
+		return nil, errDraining
+	}
+}
+
+func (a *admission) releaseRun() { <-a.run }
+
+// startDrain flips the gate into shedding mode; idempotent.
+func (a *admission) startDrain() { a.once.Do(func() { close(a.drain) }) }
+
+func (a *admission) draining() bool {
+	select {
+	case <-a.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// queued and running report instantaneous occupancy for /metrics gauges.
+func (a *admission) queued() int  { return len(a.queue) }
+func (a *admission) running() int { return len(a.run) }
+
+// sheds returns the cumulative shed counts by reason.
+func (a *admission) sheds() (full, drain int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shedFull, a.shedDrain
+}
+
+func (a *admission) count(c *int64) {
+	a.mu.Lock()
+	*c++
+	a.mu.Unlock()
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(0, 2)
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.running() != 2 {
+		t.Fatalf("running = %d, want 2", a.running())
+	}
+	// Zero queue depth: the third request is shed immediately.
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	full, _ := a.sheds()
+	if full != 1 {
+		t.Fatalf("shedFull = %d, want 1", full)
+	}
+	r1()
+	r2()
+	if a.running() != 0 {
+		t.Fatalf("running = %d after releases, want 0", a.running())
+	}
+}
+
+func TestAdmissionQueueHandoff(t *testing.T) {
+	a := newAdmission(1, 1)
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, err := a.acquire(context.Background())
+		if err == nil {
+			defer r2()
+		}
+		got <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.queued() != 1 {
+		t.Fatal("second request never queued")
+	}
+	r1()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+}
+
+func TestAdmissionCtxCanceledWhileQueued(t *testing.T) {
+	a := newAdmission(1, 1)
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		got <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned queue slot must be returned.
+	if a.queued() != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", a.queued())
+	}
+}
+
+func TestAdmissionDrainShedsQueued(t *testing.T) {
+	a := newAdmission(1, 1)
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(context.Background())
+		got <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	a.startDrain()
+	if err := <-got; !errors.Is(err, errDraining) {
+		t.Fatalf("err = %v, want errDraining", err)
+	}
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain err = %v, want errDraining", err)
+	}
+	_, drain := a.sheds()
+	if drain != 2 {
+		t.Fatalf("shedDrain = %d, want 2", drain)
+	}
+}

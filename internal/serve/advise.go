@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Guardrails on advise inputs. They bound the oracle tables a request can
+// force the server to build (tables are O(horizon + W) per distinct
+// (W, L) pair) and reject the nonsense values a public endpoint sees.
+const (
+	maxAdviseLength  = 30 * simtime.Day
+	maxAdviseWait    = 7 * simtime.Day
+	maxAdviseCPUs    = 1 << 20
+	maxAdviseBodyLen = 1 << 20
+)
+
+// AdviseRequest is one online scheduling query: "a job like this just
+// arrived — when should it start?". Times are integer simulation minutes
+// (the trace starts at minute 0), matching the simulator's clock.
+type AdviseRequest struct {
+	// Policy is the scheduling policy tag (policy.Names()).
+	Policy string `json:"policy"`
+	// Region is the carbon-trace region code (GET /v1/traces).
+	Region string `json:"region"`
+	// LengthMinutes is the job's (estimated) execution time. Required.
+	LengthMinutes int64 `json:"length_minutes"`
+	// CPUs is the job's parallel width; default 1.
+	CPUs int `json:"cpus,omitempty"`
+	// ArrivalMinute is the submission time on the trace clock; default 0.
+	ArrivalMinute int64 `json:"arrival_minute,omitempty"`
+	// Queue forces the job class ("short" or "long"); empty classifies by
+	// length against the default 2 h bound, as the scheduler does.
+	Queue string `json:"queue,omitempty"`
+	// MaxWaitMinutes overrides the queue's waiting-time guarantee
+	// (deadline slack). Default: 360 for short, 1440 for long — the
+	// paper's 6 h / 24 h configuration. 0 means "start now or never wait".
+	MaxWaitMinutes *int64 `json:"max_wait_minutes,omitempty"`
+	// AvgLengthMinutes is the historical average length that
+	// length-oblivious policies use as their estimate; default 60,
+	// matching the policy package's fallback.
+	AvgLengthMinutes int64 `json:"avg_length_minutes,omitempty"`
+	// SpotMaxMinutes marks jobs up to this length spot-eligible for the
+	// instance-class recommendation; 0 disables spot.
+	SpotMaxMinutes int64 `json:"spot_max_minutes,omitempty"`
+}
+
+// AdviseWindow is one suspend-resume execution window, in trace minutes.
+type AdviseWindow struct {
+	StartMinute int64 `json:"start_minute"`
+	EndMinute   int64 `json:"end_minute"`
+}
+
+// AdviseResponse is the advisory verdict plus its predicted consequences
+// versus running the job immediately on arrival (the NoWait baseline).
+type AdviseResponse struct {
+	Policy string `json:"policy"`
+	Region string `json:"region"`
+	Queue  string `json:"queue"`
+
+	// StartMinute is when execution (first) begins; Plan is set instead
+	// of a contiguous run for suspend-resume policies.
+	StartMinute  int64          `json:"start_minute"`
+	FinishMinute int64          `json:"finish_minute"`
+	WaitMinutes  int64          `json:"wait_minutes"`
+	Plan         []AdviseWindow `json:"plan,omitempty"`
+
+	// InstanceClass is "spot" when the job fits the request's spot bound,
+	// else "on-demand".
+	InstanceClass string `json:"instance_class"`
+
+	CarbonGrams         float64 `json:"carbon_grams"`
+	BaselineCarbonGrams float64 `json:"baseline_carbon_grams"`
+	CarbonSavingsGrams  float64 `json:"carbon_savings_grams"`
+	CostUSD             float64 `json:"cost_usd"`
+	BaselineCostUSD     float64 `json:"baseline_cost_usd"`
+
+	// FastPath reports whether the decision came from the precomputed
+	// oracle tables (it is bit-identical either way; see carbon.Oracle).
+	FastPath bool `json:"fast_path"`
+}
+
+// decodeAdvise strictly parses one advise body: unknown fields and
+// trailing garbage are errors, so client typos fail loudly instead of
+// silently meaning something else.
+func decodeAdvise(r io.Reader) (AdviseRequest, error) {
+	var req AdviseRequest
+	dec := json.NewDecoder(io.LimitReader(r, maxAdviseBodyLen))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return AdviseRequest{}, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return AdviseRequest{}, errors.New("invalid JSON: trailing data after request object")
+	}
+	return req, nil
+}
+
+// normalizeAdvise validates a decoded request against the server's trace
+// registry and fills defaults in place. All failures map to HTTP 400.
+func (s *Server) normalizeAdvise(req *AdviseRequest) error {
+	if _, err := policy.ByName(req.Policy); err != nil {
+		return err
+	}
+	req.Region = strings.ToUpper(strings.TrimSpace(req.Region))
+	tr, ok := s.regions[req.Region]
+	if !ok {
+		return fmt.Errorf("unknown region %q (GET /v1/traces lists the available ones)", req.Region)
+	}
+	length := simtime.Duration(req.LengthMinutes)
+	if length <= 0 || length > maxAdviseLength {
+		return fmt.Errorf("length_minutes must be in [1, %d]", maxAdviseLength.Minutes())
+	}
+	if req.CPUs == 0 {
+		req.CPUs = 1
+	}
+	if req.CPUs < 1 || req.CPUs > maxAdviseCPUs {
+		return fmt.Errorf("cpus must be in [1, %d]", maxAdviseCPUs)
+	}
+	if req.ArrivalMinute < 0 || simtime.Time(req.ArrivalMinute) >= simtime.Time(tr.Horizon()) {
+		return fmt.Errorf("arrival_minute must be in [0, %d) for region %s", tr.Horizon().Minutes(), req.Region)
+	}
+	switch strings.ToLower(strings.TrimSpace(req.Queue)) {
+	case "":
+		if length <= defaultShortMax {
+			req.Queue = workload.QueueShort.String()
+		} else {
+			req.Queue = workload.QueueLong.String()
+		}
+	case workload.QueueShort.String():
+		req.Queue = workload.QueueShort.String()
+	case workload.QueueLong.String():
+		req.Queue = workload.QueueLong.String()
+	default:
+		return fmt.Errorf("queue must be %q or %q (or empty to classify by length)",
+			workload.QueueShort.String(), workload.QueueLong.String())
+	}
+	if req.MaxWaitMinutes == nil {
+		w := int64(defaultWaitShort.Minutes())
+		if req.Queue == workload.QueueLong.String() {
+			w = int64(defaultWaitLong.Minutes())
+		}
+		req.MaxWaitMinutes = &w
+	}
+	if *req.MaxWaitMinutes < 0 || simtime.Duration(*req.MaxWaitMinutes) > maxAdviseWait {
+		return fmt.Errorf("max_wait_minutes must be in [0, %d]", maxAdviseWait.Minutes())
+	}
+	if req.AvgLengthMinutes == 0 {
+		req.AvgLengthMinutes = int64(simtime.Hour.Minutes())
+	}
+	if req.AvgLengthMinutes < 0 || simtime.Duration(req.AvgLengthMinutes) > maxAdviseLength {
+		return fmt.Errorf("avg_length_minutes must be in [1, %d]", maxAdviseLength.Minutes())
+	}
+	if req.SpotMaxMinutes < 0 || simtime.Duration(req.SpotMaxMinutes) > maxAdviseLength {
+		return fmt.Errorf("spot_max_minutes must be in [0, %d]", maxAdviseLength.Minutes())
+	}
+	return nil
+}
+
+// advise answers one normalized request. It follows the offline
+// scheduler's decision path exactly: a fresh policy.Context per request
+// (contexts carry scratch state and are not concurrency-safe) layered
+// over the region trace's shared, immutable oracle tables, then the same
+// Policy.Decide call core.Run makes — so the advisory start times are
+// byte-identical to what a simulation of that moment would choose. The
+// differential test in advise_diff_test.go pins this equivalence.
+func (s *Server) advise(req AdviseRequest) (*AdviseResponse, error) {
+	tr := s.regions[req.Region]
+	pol, err := policy.ByName(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	queue := workload.QueueShort
+	if req.Queue == workload.QueueLong.String() {
+		queue = workload.QueueLong
+	}
+	length := simtime.Duration(req.LengthMinutes)
+	now := simtime.Time(req.ArrivalMinute)
+	job := workload.Job{
+		Arrival: now,
+		Length:  length,
+		CPUs:    req.CPUs,
+		Queue:   queue,
+	}
+	pctx := &policy.Context{
+		CIS: carbon.NewPerfectService(tr),
+		Queues: map[workload.Queue]policy.QueueInfo{
+			queue: {
+				MaxWait:   simtime.Duration(*req.MaxWaitMinutes),
+				AvgLength: simtime.Duration(req.AvgLengthMinutes),
+			},
+		},
+	}
+	pctx.EnableFastPaths()
+	dec := pol.Decide(job, now, pctx)
+	if err := dec.Validate(job, now); err != nil {
+		return nil, fmt.Errorf("policy returned an invalid decision: %w", err)
+	}
+
+	// Execution windows: a plan is normalized against the true length the
+	// same way the simulator consumes it; a plain start is one window.
+	var windows []simtime.Interval
+	if dec.IsPlan() {
+		windows = policy.NormalizePlan(dec.Plan, length)
+	} else {
+		windows = []simtime.Interval{{Start: dec.Start, End: dec.Start.Add(length)}}
+	}
+
+	pricing, power := cloud.DefaultPricing(), cloud.DefaultPower()
+	var carbonG float64
+	for _, iv := range windows {
+		carbonG += power.Carbon(tr.Integral(iv), req.CPUs)
+	}
+	baselineG := power.Carbon(tr.Integral(simtime.Interval{Start: now, End: now.Add(length)}), req.CPUs)
+
+	class := cloud.OnDemand
+	if req.SpotMaxMinutes > 0 && length <= simtime.Duration(req.SpotMaxMinutes) {
+		class = cloud.Spot
+	}
+	cost := pricing.HourlyRate(class) * float64(req.CPUs) * length.Hours()
+	baseCost := pricing.HourlyRate(cloud.OnDemand) * float64(req.CPUs) * length.Hours()
+
+	resp := &AdviseResponse{
+		Policy:              req.Policy,
+		Region:              req.Region,
+		Queue:               req.Queue,
+		StartMinute:         int64(windows[0].Start),
+		FinishMinute:        int64(windows[len(windows)-1].End),
+		WaitMinutes:         int64(windows[len(windows)-1].End.Sub(now) - length),
+		InstanceClass:       class.String(),
+		CarbonGrams:         carbonG,
+		BaselineCarbonGrams: baselineG,
+		CarbonSavingsGrams:  baselineG - carbonG,
+		CostUSD:             cost,
+		BaselineCostUSD:     baseCost,
+		FastPath:            pctx.FastPathHits() > 0,
+	}
+	if dec.IsPlan() {
+		resp.Plan = make([]AdviseWindow, len(windows))
+		for i, iv := range windows {
+			resp.Plan[i] = AdviseWindow{StartMinute: int64(iv.Start), EndMinute: int64(iv.End)}
+		}
+	}
+	return resp, nil
+}

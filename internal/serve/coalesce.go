@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress computation shared by every request that
+// asked for the same key. The worker goroutine closes done after setting
+// val/err; the channel close publishes both to all participants.
+type flight struct {
+	refs   int // participants still interested in the outcome
+	cancel context.CancelFunc
+	done   chan struct{}
+	val    any
+	err    error
+}
+
+// coalescer merges identical in-flight requests into one computation.
+// It differs from a plain single-flight map in one production-critical
+// way: the shared work runs under its own context, detached from any one
+// request, and is canceled only when the participant refcount drops to
+// zero. A leader whose client disconnects does not kill the simulation
+// ten coalesced followers are still waiting for — runcache.RunContext
+// documents this as the contract serving layers must uphold.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	leaders int64 // requests that started a computation
+	joined  int64 // requests that attached to an existing flight
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*flight)}
+}
+
+// do returns fn's result for key, computing it at most once across
+// concurrent callers. fn receives the flight's own context — canceled
+// when every participant has left — and runs in a separate goroutine, so
+// a caller whose ctx expires stops waiting without stopping shared work
+// others still want. leader reports whether this call started the
+// computation (false = coalesced onto an existing flight).
+func (c *coalescer) do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, leader bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		f.refs++
+		c.joined++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			c.leave(key, f)
+			return f.val, false, f.err
+		case <-ctx.Done():
+			c.leave(key, f)
+			return nil, false, ctx.Err()
+		}
+	}
+	wctx, cancel := context.WithCancel(context.Background())
+	f := &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
+	c.flights[key] = f
+	c.leaders++
+	c.mu.Unlock()
+
+	go func() {
+		f.val, f.err = fn(wctx)
+		close(f.done)
+	}()
+	select {
+	case <-f.done:
+		c.leave(key, f)
+		return f.val, true, f.err
+	case <-ctx.Done():
+		c.leave(key, f)
+		return nil, true, ctx.Err()
+	}
+}
+
+// leave drops one participant. The last one out cancels the flight's work
+// context and retires the map entry — generation-checked, because a new
+// flight for the same key may already have replaced a finished one.
+func (c *coalescer) leave(key string, f *flight) {
+	c.mu.Lock()
+	f.refs--
+	if f.refs == 0 {
+		f.cancel()
+		if c.flights[key] == f {
+			delete(c.flights, key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// stats returns the cumulative leader/joined counts for /metrics.
+func (c *coalescer) stats() (leaders, joined int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaders, c.joined
+}
+
+// inFlight reports the number of distinct computations currently running.
+func (c *coalescer) inFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCoalescerSharesOneComputation(t *testing.T) {
+	c := newCoalescer()
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]any, n)
+	leaders := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, leader, err := c.do(context.Background(), "k", func(context.Context) (any, error) {
+				calls.Add(1)
+				close(started)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			vals[i], leaders[i] = v, leader
+		}(i)
+	}
+	<-started
+	// Wait until every goroutine is a participant, then open the gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		l, j := c.stats()
+		if l+j == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	var leaderCount int
+	for i := 0; i < n; i++ {
+		if vals[i] != 42 {
+			t.Fatalf("vals[%d] = %v, want 42", i, vals[i])
+		}
+		if leaders[i] {
+			leaderCount++
+		}
+	}
+	if leaderCount != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaderCount)
+	}
+	if c.inFlight() != 0 {
+		t.Fatalf("inFlight = %d after completion, want 0", c.inFlight())
+	}
+}
+
+func TestCoalescerCancelsWhenAllLeave(t *testing.T) {
+	c := newCoalescer()
+	canceled := make(chan struct{})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+
+	fn := func(wctx context.Context) (any, error) {
+		<-wctx.Done()
+		close(canceled)
+		return nil, wctx.Err()
+	}
+	errs := make(chan error, 2)
+	go func() {
+		_, _, err := c.do(ctx1, "k", fn)
+		errs <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.inFlight() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		_, _, err := c.do(ctx2, "k", fn)
+		errs <- err
+	}()
+	for {
+		if _, j := c.stats(); j == 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("second caller never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// One participant leaving must NOT cancel the shared work.
+	cancel1()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first leaver err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-canceled:
+		t.Fatal("work canceled while a participant remained")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The last participant leaving cancels it.
+	cancel2()
+	if err := <-errs; !errors.Is(err, context.Canceled) {
+		t.Fatalf("second leaver err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("work not canceled after every participant left")
+	}
+	for c.inFlight() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.inFlight() != 0 {
+		t.Fatalf("inFlight = %d after teardown, want 0", c.inFlight())
+	}
+}
+
+func TestCoalescerDistinctKeysRunIndependently(t *testing.T) {
+	c := newCoalescer()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			v, _, err := c.do(context.Background(), key, func(context.Context) (any, error) {
+				calls.Add(1)
+				return key, nil
+			})
+			if err != nil || v != key {
+				t.Errorf("do(%q) = %v, %v", key, v, err)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if calls.Load() != 2 {
+		t.Fatalf("fn ran %d times, want 2 (distinct keys must not coalesce)", calls.Load())
+	}
+}
+
+// TestCoalescerGenerationCheck: a finished flight being replaced by a new
+// one for the same key must not be deleted by the old flight's stragglers.
+func TestCoalescerGenerationCheck(t *testing.T) {
+	c := newCoalescer()
+	// First flight completes and is retired.
+	if _, _, err := c.do(context.Background(), "k", func(context.Context) (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Second flight for the same key, still running: make sure an old
+	// flight handle cannot evict it. Simulate a straggler by holding a
+	// stale flight and calling leave directly.
+	stale := &flight{refs: 1, cancel: func() {}, done: make(chan struct{})}
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	res := make(chan error, 1)
+	go func() {
+		_, _, err := c.do(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-gate
+			return 2, nil
+		})
+		res <- err
+	}()
+	<-started
+	c.leave("k", stale) // straggler from a dead generation
+	if c.inFlight() != 1 {
+		t.Fatal("straggler leave evicted a live flight")
+	}
+	close(gate)
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+}

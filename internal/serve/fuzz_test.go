@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAdviseDecode feeds arbitrary bodies through the advise request
+// pipeline: decode, normalize, and — when both accept — the decision
+// itself. The invariant is the endpoint's 400 contract: malformed input
+// is reported as an error, never a panic, and anything that passes
+// validation must produce a decision.
+func FuzzAdviseDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{{`,
+		`null`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"policy":"carbon-time","region":"CA-US","length_minutes":120}`,
+		`{"policy":"wait-awhile","region":"SE","length_minutes":90,"arrival_minute":61,"cpus":3}`,
+		`{"policy":"ecovisor","region":"NL","length_minutes":45,"queue":"long"}`,
+		`{"policy":"mystery","region":"CA-US","length_minutes":10}`,
+		`{"policy":"nowait","region":"??","length_minutes":10}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":-5}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":99999999999}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10,"max_wait_minutes":-1}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10,"max_wait_minutes":999999999}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10,"arrival_minute":-7}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10,"cpus":-1}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10,"queue":"medium"}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10,"unknown_field":true}`,
+		`{"policy":"nowait","region":"CA-US","length_minutes":10} trailing`,
+		`{"policy":"nowait","region":"ca-us","length_minutes":1,"avg_length_minutes":1,"spot_max_minutes":1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	srv, err := New(Config{TraceDays: 2, Logf: func(string, ...any) {}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeAdvise(bytes.NewReader(body))
+		if err != nil {
+			return // → 400, by contract
+		}
+		if err := srv.normalizeAdvise(&req); err != nil {
+			return // → 400, by contract
+		}
+		resp, err := srv.advise(req)
+		if err != nil {
+			t.Fatalf("validated request failed to advise: %v (request %+v)", err, req)
+		}
+		if resp.StartMinute < req.ArrivalMinute {
+			t.Fatalf("advice starts before arrival: %+v", resp)
+		}
+		if resp.FinishMinute < resp.StartMinute+req.LengthMinutes {
+			t.Fatalf("finish precedes start+length: %+v", resp)
+		}
+	})
+}

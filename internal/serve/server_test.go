@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer builds a small, fast server for handler tests.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.TraceDays == 0 {
+		cfg.TraceDays = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, b
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := getBody(t, ts.URL+"/v1/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Traces []TraceInfo `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(out.Traces) != 6 {
+		t.Fatalf("got %d traces, want the paper's 6 regions", len(out.Traces))
+	}
+	for i := 1; i < len(out.Traces); i++ {
+		if out.Traces[i-1].Code >= out.Traces[i].Code {
+			t.Fatalf("traces not sorted: %q before %q", out.Traces[i-1].Code, out.Traces[i].Code)
+		}
+	}
+	for _, tr := range out.Traces {
+		if tr.Hours != (2+simulateSlackDays)*24 {
+			t.Fatalf("region %s has %d hours, want %d", tr.Code, tr.Hours, (2+simulateSlackDays)*24)
+		}
+		if tr.MeanCI <= 0 || tr.MinCI > tr.MeanCI || tr.MaxCI < tr.MeanCI {
+			t.Fatalf("region %s has implausible CI summary: %+v", tr.Code, tr)
+		}
+	}
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := getBody(t, ts.URL+"/v1/experiments")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Experiments []struct {
+			ID, Title string
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(out.Experiments) == 0 {
+		t.Fatal("no experiments listed")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("body %s does not report ok", body)
+	}
+
+	s.adm.startDrain()
+	resp, body = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte(`"draining"`)) {
+		t.Fatalf("draining body %s does not report draining", body)
+	}
+}
+
+func TestAdviseValidRequest(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/advise",
+		`{"policy":"carbon-time","region":"ca-us","length_minutes":120,"arrival_minute":300}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out AdviseResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if out.Region != "CA-US" {
+		t.Fatalf("region = %q, want canonicalized CA-US", out.Region)
+	}
+	if out.Queue != "short" {
+		t.Fatalf("queue = %q, want short for a 2h job", out.Queue)
+	}
+	if out.StartMinute < 300 || out.StartMinute > 300+360 {
+		t.Fatalf("start %d outside [arrival, arrival+6h]", out.StartMinute)
+	}
+	if out.FinishMinute != out.StartMinute+120 {
+		t.Fatalf("finish %d != start %d + length", out.FinishMinute, out.StartMinute)
+	}
+	if out.WaitMinutes != out.StartMinute-300 {
+		t.Fatalf("wait %d inconsistent with start %d", out.WaitMinutes, out.StartMinute)
+	}
+	if out.BaselineCarbonGrams <= 0 || out.CarbonGrams <= 0 {
+		t.Fatalf("carbon fields not populated: %+v", out)
+	}
+	if out.CarbonSavingsGrams < 0 {
+		t.Fatalf("carbon-time advisory increased carbon: %+v", out)
+	}
+	if out.InstanceClass != "on-demand" {
+		t.Fatalf("instance class = %q, want on-demand without a spot bound", out.InstanceClass)
+	}
+	if !out.FastPath {
+		t.Fatal("carbon-time decision did not use the oracle fast path")
+	}
+}
+
+func TestAdviseSpotEligibility(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/advise",
+		`{"policy":"nowait","region":"SE","length_minutes":60,"spot_max_minutes":120}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var out AdviseResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if out.InstanceClass != "spot" {
+		t.Fatalf("instance class = %q, want spot for an eligible job", out.InstanceClass)
+	}
+	if out.CostUSD >= out.BaselineCostUSD {
+		t.Fatalf("spot cost %v not below on-demand %v", out.CostUSD, out.BaselineCostUSD)
+	}
+}
+
+func TestAdviseBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+	}{
+		{"empty", ``},
+		{"not json", `{{`},
+		{"unknown field", `{"policy":"nowait","region":"SE","length_minutes":5,"bogus":1}`},
+		{"trailing garbage", `{"policy":"nowait","region":"SE","length_minutes":5} extra`},
+		{"unknown policy", `{"policy":"mystery","region":"SE","length_minutes":5}`},
+		{"unknown region", `{"policy":"nowait","region":"ZZ","length_minutes":5}`},
+		{"zero length", `{"policy":"nowait","region":"SE","length_minutes":0}`},
+		{"negative length", `{"policy":"nowait","region":"SE","length_minutes":-4}`},
+		{"huge length", `{"policy":"nowait","region":"SE","length_minutes":99999999}`},
+		{"bad queue", `{"policy":"nowait","region":"SE","length_minutes":5,"queue":"medium"}`},
+		{"negative wait", `{"policy":"nowait","region":"SE","length_minutes":5,"max_wait_minutes":-1}`},
+		{"arrival beyond trace", `{"policy":"nowait","region":"SE","length_minutes":5,"arrival_minute":99999999}`},
+		{"negative cpus", `{"policy":"nowait","region":"SE","length_minutes":5,"cpus":-2}`},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/advise", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var out map[string]string
+		if err := json.Unmarshal(body, &out); err != nil || out["error"] == "" {
+			t.Errorf("%s: 400 body %s is not an error object", tc.name, body)
+		}
+	}
+}
+
+func TestSimulateComputedThenCached(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"policy":"carbon-time","region":"SA-AU","jobs":200,"days":2}`
+	resp, raw := postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var first SimulateResponse
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if first.CacheOutcome != "computed" {
+		t.Fatalf("first run outcome = %q, want computed", first.CacheOutcome)
+	}
+	if first.Jobs != 200 || first.CarbonKg <= 0 || first.CostUSD <= 0 {
+		t.Fatalf("implausible result: %+v", first)
+	}
+	if first.CarbonSavingsPercent <= 0 {
+		t.Fatalf("carbon-time saved nothing: %+v", first)
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d, body %s", resp.StatusCode, raw)
+	}
+	var second SimulateResponse
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if second.CacheOutcome != "hit" {
+		t.Fatalf("second run outcome = %q, want hit", second.CacheOutcome)
+	}
+	// A cached cell is indistinguishable from a recomputed one.
+	first.CacheOutcome, second.CacheOutcome = "", ""
+	if first != second {
+		t.Fatalf("cached result differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestSimulateBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []string{
+		`{"policy":"nope","region":"SE"}`,
+		`{"policy":"nowait","region":"XX"}`,
+		`{"policy":"nowait","region":"SE","family":"netflix"}`,
+		`{"policy":"nowait","region":"SE","jobs":-1}`,
+		`{"policy":"nowait","region":"SE","days":9999}`,
+		`{"policy":"nowait","region":"SE","eviction_rate":1.5}`,
+		`{"policy":"nowait","region":"SE","reserved":-3}`,
+	}
+	for _, body := range cases {
+		resp, raw := postJSON(t, ts.URL+"/v1/simulate", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400 (%s)", body, resp.StatusCode, raw)
+		}
+	}
+}
+
+func TestSimulateCoalescing(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 4})
+	s.simGate = make(chan struct{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"policy":"lowest-window","region":"NL","jobs":100,"days":2}`
+	type reply struct {
+		status int
+		resp   SimulateResponse
+	}
+	results := make(chan reply, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, raw := postJSON(t, ts.URL+"/v1/simulate", body)
+			var out SimulateResponse
+			json.Unmarshal(raw, &out)
+			results <- reply{resp.StatusCode, out}
+		}()
+	}
+	// Both requests must be participants of ONE flight before the gate
+	// opens: one leader, one joined.
+	waitFor(t, "second request to coalesce", func() bool {
+		_, joined := s.co.stats()
+		return joined == 1
+	})
+	if got := s.co.inFlight(); got != 1 {
+		t.Fatalf("in-flight computations = %d, want 1", got)
+	}
+	close(s.simGate)
+
+	var coalesced, fresh int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("status = %d", r.status)
+		}
+		if r.resp.Coalesced {
+			coalesced++
+		} else {
+			fresh++
+		}
+	}
+	if coalesced != 1 || fresh != 1 {
+		t.Fatalf("coalesced/fresh = %d/%d, want 1/1", coalesced, fresh)
+	}
+	leaders, joined := s.co.stats()
+	if leaders != 1 || joined != 1 {
+		t.Fatalf("coalescer stats = %d leaders / %d joined, want 1/1", leaders, joined)
+	}
+}
+
+func TestLoadSheddingQueueFull(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	s.simGate = make(chan struct{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A runs (blocked on the gate), B waits in the only queue slot.
+	bodyA := `{"policy":"nowait","region":"SE","jobs":50,"days":1}`
+	bodyB := `{"policy":"nowait","region":"SE","jobs":51,"days":1}`
+	done := make(chan int, 2)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/simulate", bodyA)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, "first request running", func() bool { return s.adm.running() == 1 })
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/simulate", bodyB)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, "second request queued", func() bool { return s.adm.queued() == 1 })
+
+	// C finds the queue full and must be shed immediately.
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", `{"policy":"nowait","region":"SE","jobs":52,"days":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+	full, _ := s.adm.sheds()
+	if full != 1 {
+		t.Fatalf("shedFull = %d, want 1", full)
+	}
+
+	close(s.simGate)
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("queued request finished with %d, want 200", code)
+		}
+	}
+}
+
+func TestSimulateTimeout(t *testing.T) {
+	s := newTestServer(t, Config{SimulateTimeout: 50 * time.Millisecond})
+	s.simGate = make(chan struct{}) // never opened: the work cannot finish
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", `{"policy":"nowait","region":"SE","jobs":10,"days":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout response took %v", elapsed)
+	}
+	// The abandoned flight must be torn down, not leaked.
+	waitFor(t, "flight teardown", func() bool { return s.co.inFlight() == 0 })
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/v1/advise", `{"policy":"nowait","region":"SE","length_minutes":30}`)
+	postJSON(t, ts.URL+"/v1/advise", `{"policy":"bogus","region":"SE","length_minutes":30}`)
+	postJSON(t, ts.URL+"/v1/simulate", `{"policy":"nowait","region":"SE","jobs":20,"days":1}`)
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	text := string(body)
+	wants := []string{
+		`gaia_serve_requests_total{endpoint="advise",code="200"} 1`,
+		`gaia_serve_requests_total{endpoint="advise",code="400"} 1`,
+		`gaia_serve_requests_total{endpoint="simulate",code="200"} 1`,
+		`gaia_serve_request_seconds_bucket{endpoint="advise",le="+Inf"} 2`,
+		`gaia_serve_request_seconds_count{endpoint="advise"} 2`,
+		`gaia_serve_simulate_cache_total{outcome="computed"} 1`,
+		`gaia_serve_shed_total{reason="queue_full"} 0`,
+		`gaia_serve_coalesce_total{role="leader"} 1`,
+		`gaia_serve_queue_depth 0`,
+		`gaia_serve_inflight 0`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full metrics output:\n%s", text)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/advise status = %d, want 405", resp.StatusCode)
+	}
+}

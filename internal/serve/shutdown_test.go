@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain exercises the full drain contract over a real
+// listener: an in-flight simulation completes during drain, a
+// queued-but-unstarted request is shed with 503, and Shutdown returns
+// (listener closed) within its deadline.
+func TestGracefulDrain(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 2})
+	s.simGate = make(chan struct{})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	// A acquires the only work slot and blocks on the gate.
+	aDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"policy":"nowait","region":"SE","jobs":40,"days":1}`))
+		if err != nil {
+			aDone <- -1
+			return
+		}
+		resp.Body.Close()
+		aDone <- resp.StatusCode
+	}()
+	waitFor(t, "request A running", func() bool { return s.adm.running() == 1 })
+
+	// B waits in the admission queue behind A.
+	bDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"policy":"nowait","region":"SE","jobs":41,"days":1}`))
+		if err != nil {
+			bDone <- -1
+			return
+		}
+		resp.Body.Close()
+		bDone <- resp.StatusCode
+	}()
+	waitFor(t, "request B queued", func() bool { return s.adm.queued() == 1 })
+
+	// Drain. B must be shed with 503 while A keeps running.
+	shutdownDone := make(chan error, 1)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- s.Shutdown(shutdownCtx) }()
+
+	select {
+	case code := <-bDone:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("queued request finished with %d, want 503", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request was not shed during drain")
+	}
+	_, drainShed := s.adm.sheds()
+	if drainShed == 0 {
+		t.Fatal("drain shed counter not incremented")
+	}
+
+	// The in-flight request completes normally once unblocked.
+	close(s.simGate)
+	select {
+	case code := <-aDone:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request did not complete during drain")
+	}
+
+	// Shutdown returns cleanly within the drain deadline...
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after in-flight work finished")
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+
+	// ...and the listener is really closed.
+	if _, err := net.DialTimeout("tcp", l.Addr().String(), 500*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting connections after Shutdown")
+	}
+}
+
+// TestDrainShedsNewRequests: once draining, brand-new work requests are
+// refused with 503 + Retry-After before any queueing.
+func TestDrainShedsNewRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.adm.startDrain()
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", `{"policy":"nowait","region":"SE","jobs":10,"days":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 shed response missing Retry-After")
+	}
+	var out map[string]string
+	if err := json.Unmarshal(body, &out); err != nil || out["error"] == "" {
+		t.Fatalf("shed body %s is not an error object", body)
+	}
+}
+
+// TestShutdownIdempotent: draining twice and shutting down an unserved
+// server are both safe.
+func TestShutdownIdempotent(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.adm.startDrain()
+	s.adm.startDrain()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown of idle server: %v", err)
+	}
+}

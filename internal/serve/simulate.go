@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// Guardrails on simulate inputs: a serving process answers interactive
+// what-if queries, not paper-scale year runs — those belong to gaia-lab.
+const (
+	maxSimulateDays = 60
+	maxSimulateJobs = 200_000
+)
+
+// workloadFamilies maps the accepted family tags to their generators.
+var workloadFamilies = map[string]func() workload.Family{
+	"alibaba": workload.AlibabaPAI,
+	"azure":   workload.AzureVM,
+	"mustang": workload.MustangHPC,
+}
+
+// SimulateRequest describes one what-if simulation cell. Zero-valued
+// fields take the documented defaults, and the normalized form of the
+// request is the coalescing key: two clients asking for the same cell in
+// different spellings share one computation.
+type SimulateRequest struct {
+	Policy string `json:"policy"`
+	Region string `json:"region"`
+	// Family is the synthetic workload family: alibaba (default), azure
+	// or mustang.
+	Family string `json:"family,omitempty"`
+	// Jobs and Days size the workload; defaults 1000 jobs over 7 days.
+	Jobs int `json:"jobs,omitempty"`
+	Days int `json:"days,omitempty"`
+	// Seed drives workload generation and spot evictions; default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Reserved / WorkConserving / SpotMaxHours / EvictionRate select the
+	// paper's cost-aware mechanisms, exactly as in gaia-sim.
+	Reserved       int     `json:"reserved,omitempty"`
+	WorkConserving bool    `json:"work_conserving,omitempty"`
+	SpotMaxHours   float64 `json:"spot_max_hours,omitempty"`
+	EvictionRate   float64 `json:"eviction_rate,omitempty"`
+	// WaitShortHours / WaitLongHours override the queues' waiting-time
+	// guarantees; 0 keeps the paper's 6 h / 24 h defaults.
+	WaitShortHours float64 `json:"wait_short_hours,omitempty"`
+	WaitLongHours  float64 `json:"wait_long_hours,omitempty"`
+}
+
+// SimulateResponse reports the cell's aggregates plus how the request
+// was served — clients can see coalescing and caching working.
+type SimulateResponse struct {
+	Label    string `json:"label"`
+	Region   string `json:"region"`
+	Workload string `json:"workload"`
+	Jobs     int    `json:"jobs"`
+
+	CarbonKg              float64 `json:"carbon_kg"`
+	BaselineCarbonKg      float64 `json:"baseline_carbon_kg"`
+	CarbonSavingsPercent  float64 `json:"carbon_savings_percent"`
+	CostUSD               float64 `json:"cost_usd"`
+	MeanWaitingMinutes    int64   `json:"mean_waiting_minutes"`
+	MeanCompletionMinutes int64   `json:"mean_completion_minutes"`
+	Evictions             int     `json:"evictions"`
+
+	// CacheOutcome is the runcache verdict (computed, hit, dedup,
+	// disk-hit); Coalesced reports whether this HTTP request attached to
+	// another request's in-flight computation.
+	CacheOutcome string `json:"cache_outcome"`
+	Coalesced    bool   `json:"coalesced"`
+}
+
+// decodeSimulate strictly parses one simulate body (same contract as
+// decodeAdvise).
+func decodeSimulate(r io.Reader) (SimulateRequest, error) {
+	var req SimulateRequest
+	dec := json.NewDecoder(io.LimitReader(r, maxAdviseBodyLen))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return SimulateRequest{}, fmt.Errorf("invalid JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return SimulateRequest{}, errors.New("invalid JSON: trailing data after request object")
+	}
+	return req, nil
+}
+
+// normalizeSimulate validates and canonicalizes a request in place. The
+// result is deterministic, so its JSON form can serve as the coalescing
+// key. All failures map to HTTP 400.
+func (s *Server) normalizeSimulate(req *SimulateRequest) error {
+	if _, err := policy.ByName(req.Policy); err != nil {
+		return err
+	}
+	req.Policy = strings.ToLower(req.Policy)
+	req.Region = strings.ToUpper(strings.TrimSpace(req.Region))
+	if _, err := carbon.RegionByCode(req.Region); err != nil {
+		return fmt.Errorf("unknown region %q (GET /v1/traces lists the available ones)", req.Region)
+	}
+	if req.Family == "" {
+		req.Family = "alibaba"
+	}
+	req.Family = strings.ToLower(req.Family)
+	if _, ok := workloadFamilies[req.Family]; !ok {
+		return fmt.Errorf("unknown workload family %q (want alibaba, azure or mustang)", req.Family)
+	}
+	if req.Jobs == 0 {
+		req.Jobs = 1000
+	}
+	if req.Jobs < 1 || req.Jobs > maxSimulateJobs {
+		return fmt.Errorf("jobs must be in [1, %d]", maxSimulateJobs)
+	}
+	if req.Days == 0 {
+		req.Days = 7
+	}
+	if req.Days < 1 || req.Days > maxSimulateDays {
+		return fmt.Errorf("days must be in [1, %d]", maxSimulateDays)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Reserved < 0 {
+		return errors.New("reserved must be non-negative")
+	}
+	if req.SpotMaxHours < 0 {
+		return errors.New("spot_max_hours must be non-negative")
+	}
+	if req.EvictionRate < 0 || req.EvictionRate >= 1 {
+		return errors.New("eviction_rate must be in [0, 1)")
+	}
+	if req.WaitShortHours < 0 || req.WaitLongHours < 0 {
+		return errors.New("wait hours must be non-negative")
+	}
+	return nil
+}
+
+// coalesceKey is the canonical identity of a simulation cell at the HTTP
+// layer. Struct field order is fixed, so the encoding is deterministic.
+func (req SimulateRequest) coalesceKey() string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// A plain struct of scalars cannot fail to marshal.
+		panic(err)
+	}
+	return string(b)
+}
+
+// simulate runs one normalized cell through the run cache under ctx. The
+// ctx is the coalesced flight's context: it outlives any single request
+// and is canceled only when every requester has gone.
+func (s *Server) simulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	carbonTr := s.carbonTrace(req.Region, req.Days)
+	jobsTr := s.workloadTrace(req.Family, req.Jobs, req.Days, req.Seed)
+	pol, err := policy.ByName(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	conv := func(h float64) simtime.Duration {
+		if h == 0 {
+			return 0 // keep the config default
+		}
+		return simtime.HoursDur(h)
+	}
+	cfg := core.Config{
+		Policy:         pol,
+		Carbon:         carbonTr,
+		Reserved:       req.Reserved,
+		WorkConserving: req.WorkConserving,
+		SpotMaxLen:     simtime.HoursDur(req.SpotMaxHours),
+		EvictionRate:   req.EvictionRate,
+		WaitShort:      conv(req.WaitShortHours),
+		WaitLong:       conv(req.WaitLongHours),
+		Horizon:        simtime.Duration(req.Days+simulateSlackDays) * simtime.Day,
+		Seed:           req.Seed,
+	}
+	res, outcome, err := s.cache.RunContext(ctx, cfg, jobsTr)
+	if err != nil && ctx.Err() == nil && errors.Is(err, context.Canceled) {
+		// Lost a race with a dying flight: another request's canceled
+		// leader shared its error through the runcache entry before the
+		// entry was retired. Our own context is live, so retry once —
+		// the entry is gone and this call becomes the new leader.
+		res, outcome, err = s.cache.RunContext(ctx, cfg, jobsTr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.obs.observeCache(outcome.String())
+	return &SimulateResponse{
+		Label:                 res.Label,
+		Region:                res.Region,
+		Workload:              res.Workload,
+		Jobs:                  res.JobCount(),
+		CarbonKg:              res.TotalCarbonKg(),
+		BaselineCarbonKg:      res.BaselineCarbon() / 1000,
+		CarbonSavingsPercent:  100 * res.CarbonSavingsFraction(),
+		CostUSD:               res.TotalCost(),
+		MeanWaitingMinutes:    res.MeanWaiting().Minutes(),
+		MeanCompletionMinutes: res.MeanCompletion().Minutes(),
+		Evictions:             res.TotalEvictions(),
+		CacheOutcome:          outcome.String(),
+	}, nil
+}
+
+// simulateSlackDays pads the carbon trace and accounting horizon past the
+// workload span so late arrivals can still wait out their full windows —
+// the same 3-day slack gaia-sim applies.
+const simulateSlackDays = 3
+
+// carbonKey / workloadKey index the server's trace memos. Memoization
+// matters beyond speed: runcache fingerprints fold in per-instance
+// memoized trace hashes, so handing the same *Trace instance to every
+// identical request is what makes repeated cells cache hits.
+type carbonKey struct {
+	region string
+	days   int
+}
+
+type workloadKey struct {
+	family string
+	jobs   int
+	days   int
+	seed   int64
+}
+
+// carbonTrace returns the memoized trace for (region, days), generating
+// (days+slack)*24 hours with the same fixed seed gaia-sim uses, so the
+// service simulates the exact cells the CLI would.
+func (s *Server) carbonTrace(region string, days int) *carbon.Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	key := carbonKey{region: region, days: days}
+	if tr, ok := s.carbonMemo[key]; ok {
+		return tr
+	}
+	spec, err := carbon.RegionByCode(region)
+	if err != nil {
+		// normalizeSimulate already vetted the region.
+		panic(err)
+	}
+	tr := spec.Generate((days+simulateSlackDays)*24, carbonTraceSeed)
+	s.carbonMemo[key] = tr
+	return tr
+}
+
+// workloadTrace returns the memoized workload for its generation inputs.
+// The memo is bounded: seeds are client-controlled, so at capacity it is
+// simply cleared — correctness never depends on it (see carbonKey docs),
+// only cache hit rates do.
+func (s *Server) workloadTrace(family string, jobs, days int, seed int64) *workload.Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	key := workloadKey{family: family, jobs: jobs, days: days, seed: seed}
+	if tr, ok := s.workloadMemo[key]; ok {
+		return tr
+	}
+	if len(s.workloadMemo) >= maxWorkloadMemo {
+		s.workloadMemo = make(map[workloadKey]*workload.Trace)
+	}
+	gen := workloadFamilies[family]
+	rng := rand.New(rand.NewSource(seed))
+	tr := gen().GenerateByCount(rng, jobs, simtime.Duration(days)*simtime.Day)
+	s.workloadMemo[key] = tr
+	return tr
+}
+
+// carbonTraceSeed pins synthetic carbon traces to gaia-sim's generation
+// seed so CLI and service answer identical cells identically.
+const carbonTraceSeed = 2022
+
+// maxWorkloadMemo bounds the workload memo (each entry holds a full job
+// slice; 256 × 200k jobs worst case is still modest).
+const maxWorkloadMemo = 256

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// TestInterruptStopsRun verifies that an interrupt probe abandons the
+// remaining events and surfaces its error through Err.
+func TestInterruptStopsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(simtime.Time(i), PriorityStart, func() { fired++ })
+	}
+	wantErr := errors.New("canceled")
+	e.SetInterrupt(10, func() error {
+		if fired >= 30 {
+			return wantErr
+		}
+		return nil
+	})
+	e.Run()
+	if !errors.Is(e.Err(), wantErr) {
+		t.Fatalf("Err() = %v, want %v", e.Err(), wantErr)
+	}
+	if fired >= 100 {
+		t.Fatalf("run was not interrupted: fired all %d events", fired)
+	}
+	// The probe fires on stride boundaries, so at most one stride of
+	// events runs past the trigger point.
+	if fired > 40 {
+		t.Fatalf("interrupt too late: %d events fired", fired)
+	}
+}
+
+// TestInterruptNilProbeAndCleanRun verifies a probe that never trips
+// leaves the run identical to an uninstrumented one, and that Err stays
+// nil.
+func TestInterruptNilProbeAndCleanRun(t *testing.T) {
+	run := func(install bool) (int, error) {
+		e := NewEngine()
+		fired := 0
+		for i := 0; i < 57; i++ {
+			e.Schedule(simtime.Time(i%7), PriorityStart, func() { fired++ })
+		}
+		if install {
+			e.SetInterrupt(3, func() error { return nil })
+		}
+		e.Run()
+		return fired, e.Err()
+	}
+	plain, err := run(false)
+	if err != nil {
+		t.Fatalf("plain run Err() = %v", err)
+	}
+	probed, err := run(true)
+	if err != nil {
+		t.Fatalf("probed run Err() = %v", err)
+	}
+	if plain != probed {
+		t.Fatalf("probe changed execution: %d vs %d events", plain, probed)
+	}
+}
+
+// TestInterruptMinimumStride pins the every<1 clamp.
+func TestInterruptMinimumStride(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(simtime.Time(i), PriorityStart, func() { fired++ })
+	}
+	calls := 0
+	e.SetInterrupt(0, func() error {
+		calls++
+		if fired >= 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events, want exactly 2 with stride-1 probe", fired)
+	}
+	if calls == 0 {
+		t.Fatal("probe never called")
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CumulativeHistogram is a fixed-bucket histogram in the Prometheus cumulative
+// style: bucket i counts observations <= Bounds[i], with an implicit
+// +Inf bucket catching the rest. It is the serving layer's latency
+// summary — bounded memory per endpoint regardless of request volume,
+// and cheap O(log buckets) observation. The zero value is not usable;
+// call NewCumulativeHistogram. Not safe for concurrent use; callers guard it.
+type CumulativeHistogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf overflow bucket
+	count  int64
+	sum    float64
+}
+
+// NewCumulativeHistogram builds a histogram over the given strictly ascending,
+// finite upper bounds. At least one bound is required.
+func NewCumulativeHistogram(bounds ...float64) (*CumulativeHistogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("stats: histogram bound %d is not finite: %v", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds must ascend (%v after %v)", b, bounds[i-1])
+		}
+	}
+	return &CumulativeHistogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}, nil
+}
+
+// MustCumulativeHistogram is NewCumulativeHistogram that panics on error, for static bucket
+// layouts known valid at compile time.
+func MustCumulativeHistogram(bounds ...float64) *CumulativeHistogram {
+	h, err := NewCumulativeHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// ExponentialBounds returns n bounds starting at start, each factor times
+// the previous — the standard latency-bucket ladder.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	b := start
+	for i := 0; i < n; i++ {
+		out = append(out, b)
+		b *= factor
+	}
+	return out
+}
+
+// Observe records one value. NaN observations are ignored — a poisoned
+// latency sample must not poison the whole summary.
+func (h *CumulativeHistogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *CumulativeHistogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *CumulativeHistogram) Sum() float64 { return h.sum }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *CumulativeHistogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns, for each bound, the count of observations <= that
+// bound — the Prometheus `le` series. The final +Inf bucket is Count().
+func (h *CumulativeHistogram) Cumulative() []int64 {
+	out := make([]int64, len(h.bounds))
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i]
+		out[i] = cum
+	}
+	return out
+}
+
+// Quantile estimates the p-th quantile (p in [0, 1], clamped) assuming a
+// uniform distribution within each bucket; observations beyond the last
+// bound report that bound. It returns 0 for an empty histogram.
+func (h *CumulativeHistogram) Quantile(p float64) float64 {
+	if h.count == 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	var cum int64
+	for i, c := range h.counts[:len(h.bounds)] {
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Snapshot copies the histogram's current state, so a renderer can work
+// from a consistent view while the caller's lock is released.
+func (h *CumulativeHistogram) Snapshot() CumulativeHistogram {
+	return CumulativeHistogram{
+		bounds: h.bounds,
+		counts: append([]int64(nil), h.counts...),
+		count:  h.count,
+		sum:    h.sum,
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewCumulativeHistogram(); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewCumulativeHistogram(1, 1); err == nil {
+		t.Fatal("non-ascending bounds accepted")
+	}
+	if _, err := NewCumulativeHistogram(1, math.Inf(1)); err == nil {
+		t.Fatal("infinite bound accepted")
+	}
+	if _, err := NewCumulativeHistogram(math.NaN()); err == nil {
+		t.Fatal("NaN bound accepted")
+	}
+}
+
+func TestHistogramObserveAndCumulative(t *testing.T) {
+	h := MustCumulativeHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 2, 50, 1000, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5 (NaN ignored)", h.Count())
+	}
+	if want := 0.5 + 1 + 2 + 50 + 1000; h.Sum() != want {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), want)
+	}
+	// le=1: {0.5, 1}; le=10: +{2}; le=100: +{50}; +Inf: {1000}.
+	if got, want := h.Cumulative(), []int64{2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Cumulative = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := MustCumulativeHistogram(10, 20, 40)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in (10, 20]
+	}
+	q := h.Quantile(0.5)
+	if q < 10 || q > 20 {
+		t.Fatalf("Quantile(0.5) = %v, want within the populated bucket (10, 20]", q)
+	}
+	// Out-of-range p clamps; values beyond the last bound report it.
+	h.Observe(1e9)
+	if got := h.Quantile(2); got != 40 {
+		t.Fatalf("Quantile(2) = %v, want last bound 40", got)
+	}
+	if got := h.Quantile(-1); got != 10 {
+		t.Fatalf("Quantile(-1) = %v, want first bound edge 10", got)
+	}
+}
+
+func TestHistogramSnapshotIsolated(t *testing.T) {
+	h := MustCumulativeHistogram(1, 2)
+	h.Observe(1.5)
+	snap := h.Snapshot()
+	h.Observe(0.5)
+	if snap.Count() != 1 {
+		t.Fatalf("snapshot count = %d, want 1", snap.Count())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("live count = %d, want 2", h.Count())
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bounds[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
