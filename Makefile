@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-check figures figures-full examples serve clean
+.PHONY: all build vet lint test race cover bench bench-json bench-check load-smoke figures figures-full examples serve clean
 
 all: build lint test race bench-check
 
@@ -42,10 +42,10 @@ bench:
 # regressions against BENCH_BASELINE, the previous PR's snapshot (only
 # benchmarks present in both are compared, so new benchmarks simply
 # start their history in the new snapshot).
-BENCH_JSON ?= BENCH_PR5.json
-BENCH_LABEL ?= pr5
-BENCH_BASELINE ?= BENCH_PR4.json
-BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|SimulateColdVsWarm
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_LABEL ?= pr6
+BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|AdviseBatch|SimulateColdVsWarm
 # -count=3: gaia-bench keeps each benchmark's fastest sample, which damps
 # scheduler noise on shared machines enough for the 15% gate to be stable.
 bench-json:
@@ -55,6 +55,13 @@ bench-json:
 bench-check:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -count=3 \
 		-benchmem . | $(GO) run ./cmd/gaia-bench -baseline $(BENCH_BASELINE)
+
+# End-to-end fleet smoke test: gaia-load boots two gaia-serve replicas
+# joined into one cache tier, drives a short mixed load, and fails unless
+# a cell computed on one replica is served as a remote hit on the other
+# with zero transport errors. -race catches cross-replica data races.
+load-smoke:
+	$(GO) run -race ./cmd/gaia-load -smoke -duration 2s
 
 # Regenerate the evaluation tables (quick scale; figures-full = paper scale).
 figures:

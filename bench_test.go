@@ -384,6 +384,52 @@ func BenchmarkAdviseThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkAdviseBatch measures the per-job cost of /v1/advise/batch: one
+// HTTP request carrying N jobs, answered as N NDJSON verdict lines.
+// Reported ns/op is per JOB, not per request — directly comparable to
+// BenchmarkAdviseThroughput, whose per-request HTTP/decode/admission
+// overhead is what batching amortizes away.
+//
+// "fleet" is the endpoint's design case — a day's queue of template jobs
+// (few distinct shapes swept across arrival minutes), where the
+// intra-batch memo answers repeated queries from their first verdict.
+// "distinct" is the worst case: every job unique, every verdict computed.
+func BenchmarkAdviseBatch(b *testing.B) {
+	base := newBenchServer(b)
+	url := base + "/v1/advise/batch"
+	benchPost(b, base+"/v1/advise",
+		`{"policy":"carbon-time","region":"CA-US","length_minutes":120,"arrival_minute":300}`,
+		http.StatusOK) // warm the tables outside the timer
+	batchBody := func(n int, job func(i int) string) string {
+		var sb strings.Builder
+		sb.WriteString(`{"policy":"carbon-time","region":"CA-US","jobs":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(job(i))
+		}
+		sb.WriteString(`]}`)
+		return sb.String()
+	}
+	run := func(name string, n int, body string) {
+		b.Run(fmt.Sprintf("%s/jobs=%d", name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += n {
+				benchPost(b, url, body, http.StatusOK)
+			}
+		})
+	}
+	for _, n := range []int{1024, 8192} {
+		run("fleet", n, batchBody(n, func(i int) string {
+			return fmt.Sprintf(`{"length_minutes":%d,"arrival_minute":%d}`, 60+60*(i%2), i%1440)
+		}))
+	}
+	run("distinct", 8192, batchBody(8192, func(i int) string {
+		return fmt.Sprintf(`{"length_minutes":%d,"arrival_minute":%d}`, 30+i%300, i)
+	}))
+}
+
 // BenchmarkSimulateColdVsWarm measures one /v1/simulate cell against a
 // cold run cache (every iteration simulates a fresh cell) versus a warm
 // one (every iteration is a content-addressed cache hit). The gap is

@@ -1,0 +1,590 @@
+// Command gaia-load drives a gaia-serve replica set to saturation and
+// reports what the fleet did under the pressure: the client-side latency
+// distribution per endpoint, how much load was shed (429/503) and how the
+// adaptive Retry-After hints moved, plus the server-side counters that
+// explain the result — coalescing roles and cache-tier outcomes scraped
+// from each replica's /metrics before and after the run.
+//
+// Two arrival models, mixable:
+//
+//   - Closed loop (-rate 0): -concurrency workers each keep exactly one
+//     request in flight, so offered load tracks service rate and the run
+//     measures the fleet's capacity.
+//   - Open loop (-rate N): arrivals fire at N requests/second fleet-wide
+//     regardless of completions — the model under which queues actually
+//     build and shedding engages.
+//
+// Examples:
+//
+//	# Saturate two replicas for 30 s with the default advise-heavy mix:
+//	gaia-load -targets http://a:8404,http://b:8404 -duration 30s -concurrency 64
+//
+//	# Open-loop overload, profile written for later comparison:
+//	gaia-load -targets http://a:8404 -rate 500 -duration 10s -out profile.json
+//
+//	# Self-contained two-replica fleet smoke test (used by CI under -race):
+//	gaia-load -smoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/carbonsched/gaia/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "gaia-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	targets     []string
+	duration    time.Duration
+	concurrency int
+	rate        float64
+	mix         map[string]int
+	batchJobs   int
+	seed        int64
+	out         string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gaia-load", flag.ContinueOnError)
+	var (
+		targets     = fs.String("targets", "", "comma-separated replica base URLs")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		concurrency = fs.Int("concurrency", 16, "closed-loop workers (in-flight requests)")
+		rate        = fs.Float64("rate", 0, "open-loop arrivals per second fleet-wide (0 = closed loop)")
+		mix         = fs.String("mix", "advise:8,batch:1,simulate:1", "endpoint weights, e.g. advise:8,batch:1,simulate:1")
+		batchJobs   = fs.Int("batch-jobs", 256, "jobs per /v1/advise/batch request")
+		seed        = fs.Int64("seed", 1, "request-generation seed")
+		out         = fs.String("out", "", "write the JSON profile here (default stdout)")
+		smoke       = fs.Bool("smoke", false, "run a self-contained two-replica fleet smoke test and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	opts := options{
+		duration:    *duration,
+		concurrency: *concurrency,
+		rate:        *rate,
+		mix:         weights,
+		batchJobs:   *batchJobs,
+		seed:        *seed,
+		out:         *out,
+	}
+	if *smoke {
+		return runSmoke(opts)
+	}
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			opts.targets = append(opts.targets, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(opts.targets) == 0 {
+		return errors.New("no -targets given (or use -smoke)")
+	}
+	profile, err := loadRun(opts)
+	if err != nil {
+		return err
+	}
+	return writeProfile(profile, opts.out)
+}
+
+func parseMix(s string) (map[string]int, error) {
+	weights := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix element %q (want endpoint:weight)", part)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		switch name {
+		case "advise", "batch", "simulate":
+		default:
+			return nil, fmt.Errorf("unknown -mix endpoint %q (want advise, batch or simulate)", name)
+		}
+		weights[name] += n
+	}
+	total := 0
+	for _, n := range weights {
+		total += n
+	}
+	if total == 0 {
+		return nil, errors.New("-mix has zero total weight")
+	}
+	return weights, nil
+}
+
+// Profile is the run's result artifact: everything needed to compare two
+// runs (or two builds) of the same scenario.
+type Profile struct {
+	Targets     []string `json:"targets"`
+	DurationSec float64  `json:"duration_sec"`
+	Concurrency int      `json:"concurrency"`
+	RatePerSec  float64  `json:"rate_per_sec,omitempty"`
+
+	Requests       int64   `json:"requests"`
+	TransportErrs  int64   `json:"transport_errors"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+
+	Status    map[string]int64              `json:"status"`
+	Endpoints map[string]EndpointProfile    `json:"endpoints"`
+	Servers   map[string]map[string]float64 `json:"servers"`
+}
+
+// EndpointProfile is the client-observed latency distribution for one
+// endpoint, plus how often it was shed.
+type EndpointProfile struct {
+	Requests int64   `json:"requests"`
+	Shed     int64   `json:"shed"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// sample is one finished request, recorded lock-free per worker and
+// merged after the run.
+type sample struct {
+	endpoint string
+	status   int
+	err      bool
+	latency  time.Duration
+}
+
+func loadRun(opts options) (*Profile, error) {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	before, err := scrapeAll(client, opts.targets)
+	if err != nil {
+		return nil, err
+	}
+
+	// The endpoint schedule is a weight-expanded deck each worker walks at
+	// its own offset: the realized mix matches the weights without the
+	// workers sharing any state.
+	var deck []string
+	for _, name := range []string{"advise", "batch", "simulate"} {
+		for i := 0; i < opts.mix[name]; i++ {
+			deck = append(deck, name)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.duration)
+	defer cancel()
+
+	// Open loop: a token bucket paces arrivals fleet-wide; closed loop
+	// leaves tokens nil and each worker re-fires on completion.
+	var tokens chan struct{}
+	if opts.rate > 0 {
+		tokens = make(chan struct{}, opts.concurrency)
+		go func() {
+			interval := time.Duration(float64(time.Second) / opts.rate)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // workers saturated: the arrival is lost, like a real open-loop client timing out
+					}
+				}
+			}
+		}()
+	}
+
+	results := make([][]sample, opts.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.seed + int64(w)*7919))
+			var local []sample
+			for n := 0; ; n++ {
+				if tokens != nil {
+					select {
+					case <-ctx.Done():
+						results[w] = local
+						return
+					case <-tokens:
+					}
+				} else if ctx.Err() != nil {
+					results[w] = local
+					return
+				}
+				// The target draw is random, not (w+n)-derived like the deck
+				// walk: deriving both from the same counter correlates
+				// endpoint with replica (deck length and fleet size share
+				// factors) and skews the per-replica mix.
+				endpoint := deck[(w+n)%len(deck)]
+				target := opts.targets[rng.Intn(len(opts.targets))]
+				local = append(local, fire(ctx, client, rng, target, endpoint, opts.batchJobs))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeAll(client, opts.targets)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(opts, elapsed, results, before, after), nil
+}
+
+// Request generation. Policies and regions are a fixed slice of the
+// server's catalog, and simulate cells draw from a small pool on purpose:
+// repeated cells are what exercise coalescing and the shared cache tier.
+var (
+	loadPolicies = []string{"nowait", "wait-awhile", "carbon-time", "lowest-window"}
+	loadRegions  = []string{"CA-US", "SA-AU", "SE", "NL"}
+)
+
+// adviseJobFields writes one job's fields (no surrounding braces), so the
+// same generator feeds both the single-advise envelope and batch entries.
+func adviseJobFields(rng *rand.Rand, b *bytes.Buffer) {
+	fmt.Fprintf(b, `"length_minutes":%d,"arrival_minute":%d,"cpus":%d`,
+		5+rng.Intn(600), rng.Intn(1440), 1+rng.Intn(8))
+	if rng.Intn(4) == 0 {
+		fmt.Fprintf(b, `,"spot_max_minutes":%d`, 30+rng.Intn(120))
+	}
+}
+
+func buildBody(rng *rand.Rand, endpoint string, batchJobs int) (path string, body []byte) {
+	pol := loadPolicies[rng.Intn(len(loadPolicies))]
+	region := loadRegions[rng.Intn(len(loadRegions))]
+	var b bytes.Buffer
+	switch endpoint {
+	case "advise":
+		fmt.Fprintf(&b, `{"policy":%q,"region":%q,`, pol, region)
+		adviseJobFields(rng, &b)
+		b.WriteByte('}')
+		return "/v1/advise", b.Bytes()
+	case "batch":
+		fmt.Fprintf(&b, `{"policy":%q,"region":%q,"jobs":[`, pol, region)
+		for i := 0; i < batchJobs; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('{')
+			adviseJobFields(rng, &b)
+			b.WriteByte('}')
+		}
+		b.WriteString(`]}`)
+		return "/v1/advise/batch", b.Bytes()
+	default: // simulate
+		fmt.Fprintf(&b, `{"policy":%q,"region":%q,"jobs":%d,"days":%d,"seed":%d}`,
+			pol, region, 200+100*rng.Intn(3), 1+rng.Intn(2), rng.Intn(4))
+		return "/v1/simulate", b.Bytes()
+	}
+}
+
+func fire(ctx context.Context, client *http.Client, rng *rand.Rand, target, endpoint string, batchJobs int) sample {
+	path, body := buildBody(rng, endpoint, batchJobs)
+	s := sample{endpoint: endpoint}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+path, bytes.NewReader(body))
+	if err != nil {
+		s.err = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		// A request cut off by the run deadline is not a server failure.
+		s.err = ctx.Err() == nil
+		s.latency = time.Since(start)
+		return s
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.status = resp.StatusCode
+	s.latency = time.Since(start)
+	return s
+}
+
+// scrapeAll fetches the counters this profile reports from every target's
+// /metrics. Only plain "name{labels} value" lines participate.
+func scrapeAll(client *http.Client, targets []string) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64, len(targets))
+	for _, t := range targets {
+		resp, err := client.Get(t + "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s: %w", t, err)
+		}
+		m := make(map[string]float64)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			name, val, ok := strings.Cut(line, " ")
+			if !ok {
+				continue
+			}
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				m[name] = v
+			}
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("scraping %s: %w", t, err)
+		}
+		out[t] = m
+	}
+	return out, nil
+}
+
+// reportedSeries are the server counters whose deltas the profile keeps:
+// shedding, coalescing roles and cache-tier outcomes.
+var reportedSeries = []string{
+	`gaia_serve_shed_total{reason="queue_full"}`,
+	`gaia_serve_shed_total{reason="draining"}`,
+	`gaia_serve_coalesce_total{role="leader"}`,
+	`gaia_serve_coalesce_total{role="joined"}`,
+	`gaia_serve_simulate_cache_total{outcome="computed"}`,
+	`gaia_serve_simulate_cache_total{outcome="hit"}`,
+	`gaia_serve_simulate_cache_total{outcome="dedup"}`,
+	`gaia_serve_simulate_cache_total{outcome="disk-hit"}`,
+	`gaia_serve_simulate_cache_total{outcome="remote-hit"}`,
+}
+
+func assemble(opts options, elapsed time.Duration, results [][]sample, before, after map[string]map[string]float64) *Profile {
+	p := &Profile{
+		Targets:     opts.targets,
+		DurationSec: elapsed.Seconds(),
+		Concurrency: opts.concurrency,
+		RatePerSec:  opts.rate,
+		Status:      make(map[string]int64),
+		Endpoints:   make(map[string]EndpointProfile),
+		Servers:     make(map[string]map[string]float64),
+	}
+	lat := make(map[string][]float64)
+	shed := make(map[string]int64)
+	count := make(map[string]int64)
+	for _, local := range results {
+		for _, s := range local {
+			p.Requests++
+			if s.err {
+				p.TransportErrs++
+				continue
+			}
+			if s.status == 0 {
+				continue // cut off by the run deadline
+			}
+			p.Status[strconv.Itoa(s.status)]++
+			count[s.endpoint]++
+			if s.status == http.StatusTooManyRequests || s.status == http.StatusServiceUnavailable {
+				shed[s.endpoint]++
+			} else {
+				lat[s.endpoint] = append(lat[s.endpoint], float64(s.latency)/float64(time.Millisecond))
+			}
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		p.AchievedPerSec = float64(p.Requests) / secs
+	}
+	for ep, ls := range lat {
+		sort.Float64s(ls)
+		mean := 0.0
+		for _, v := range ls {
+			mean += v
+		}
+		mean /= float64(len(ls))
+		p.Endpoints[ep] = EndpointProfile{
+			Requests: count[ep],
+			Shed:     shed[ep],
+			P50Ms:    quantile(ls, 0.50),
+			P90Ms:    quantile(ls, 0.90),
+			P99Ms:    quantile(ls, 0.99),
+			MaxMs:    ls[len(ls)-1],
+			MeanMs:   mean,
+		}
+	}
+	for _, t := range opts.targets {
+		deltas := make(map[string]float64)
+		for _, series := range reportedSeries {
+			if d := after[t][series] - before[t][series]; d != 0 {
+				deltas[series] = d
+			}
+		}
+		p.Servers[t] = deltas
+	}
+	return p
+}
+
+// quantile reads the q-th quantile from an ascending slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func writeProfile(p *Profile, out string) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}
+
+// runSmoke boots a two-replica fleet in-process, runs a short burst of
+// mixed load against it, then checks the tier's core promise end to end:
+// a cell computed on replica A is a remote hit on replica B. Exit status
+// is the test verdict, which is what CI runs under the race detector.
+func runSmoke(opts options) error {
+	silent := func(string, ...any) {}
+	cfg := serve.Config{TraceDays: 2, MaxConcurrent: 2, QueueDepth: 32, Logf: silent}
+
+	var urls []string
+	var servers []*serve.Server
+	var serveErr sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		srv, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		urls = append(urls, "http://"+l.Addr().String())
+		servers = append(servers, srv)
+		serveErr.Add(1)
+		go func() {
+			defer serveErr.Done()
+			srv.Serve(l)
+		}()
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, srv := range servers {
+			srv.Shutdown(ctx)
+		}
+		serveErr.Wait()
+	}()
+	if err := servers[0].ConfigureFleet(urls[0], urls[1:]); err != nil {
+		return err
+	}
+	if err := servers[1].ConfigureFleet(urls[1], urls[:1]); err != nil {
+		return err
+	}
+
+	// Deterministic tier check before any load touches the caches.
+	client := &http.Client{Timeout: time.Minute}
+	cell := `{"policy":"carbon-time","region":"CA-US","jobs":300,"days":2,"seed":424242}`
+	outcome, err := simulateOutcome(client, urls[0], cell)
+	if err != nil {
+		return err
+	}
+	if outcome != "computed" {
+		return fmt.Errorf("smoke: first simulate outcome = %q, want computed", outcome)
+	}
+	outcome, err = simulateOutcome(client, urls[1], cell)
+	if err != nil {
+		return err
+	}
+	if outcome != "remote-hit" {
+		return fmt.Errorf("smoke: second replica outcome = %q, want remote-hit", outcome)
+	}
+
+	// A short saturation burst across both replicas: everything must be
+	// answered or shed, never dropped.
+	opts.targets = urls
+	if opts.duration > 3*time.Second {
+		opts.duration = 3 * time.Second
+	}
+	if opts.concurrency > 8 {
+		opts.concurrency = 8
+	}
+	if opts.batchJobs > 64 {
+		opts.batchJobs = 64
+	}
+	profile, err := loadRun(opts)
+	if err != nil {
+		return err
+	}
+	if profile.TransportErrs > 0 {
+		return fmt.Errorf("smoke: %d transport errors", profile.TransportErrs)
+	}
+	if profile.Requests == 0 {
+		return errors.New("smoke: no requests completed")
+	}
+	for code := range profile.Status {
+		if strings.HasPrefix(code, "5") && code != "503" {
+			return fmt.Errorf("smoke: server errors (status %s)", code)
+		}
+	}
+	if err := writeProfile(profile, opts.out); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "gaia-load: smoke OK (remote-hit verified, no transport errors)")
+	return nil
+}
+
+func simulateOutcome(client *http.Client, target, body string) (string, error) {
+	resp, err := client.Post(target+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("simulate on %s: status %d, body %s", target, resp.StatusCode, raw)
+	}
+	var out struct {
+		CacheOutcome string `json:"cache_outcome"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return "", err
+	}
+	return out.CacheOutcome, nil
+}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +55,9 @@ func run(args []string) error {
 		drainTO       = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		retryAfter    = fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 		cacheDir      = fs.String("cache-dir", "", "simulation result cache directory (empty = memory only)")
+		batchTO       = fs.Duration("batch-timeout", 30*time.Second, "per-request /v1/advise/batch deadline")
+		fleetSelf     = fs.String("fleet-self", "", "this replica's base URL in the shared cache tier (http://host:port; empty with -fleet-peers = pure client)")
+		fleetPeers    = fs.String("fleet-peers", "", "comma-separated base URLs of the other cache-tier members")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,12 +69,24 @@ func run(args []string) error {
 		MaxConcurrent:   *maxConcurrent,
 		QueueDepth:      *queueDepth,
 		AdviseTimeout:   *adviseTO,
+		BatchTimeout:    *batchTO,
 		SimulateTimeout: *simulateTO,
 		RetryAfter:      *retryAfter,
 		CacheDir:        *cacheDir,
 	})
 	if err != nil {
 		return err
+	}
+	if *fleetSelf != "" || *fleetPeers != "" {
+		var peers []string
+		for _, p := range strings.Split(*fleetPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if err := srv.ConfigureFleet(strings.TrimSpace(*fleetSelf), peers); err != nil {
+			return err
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// key derives a deterministic test fingerprint — uniform like the real
+// cell fingerprints, which are sha256 output themselves.
+func key(i int) [32]byte {
+	return sha256.Sum256([]byte(fmt.Sprintf("cell-%d", i)))
+}
+
+// TestRingOrderInsensitive pins that member argument order is invisible:
+// ownership is a pure function of the member *set*.
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a", ""}, 0)
+	for i := 0; i < 1000; i++ {
+		k := key(i)
+		if got, want := b.Owner(k), a.Owner(k); got != want {
+			t.Fatalf("key %d: owner %q with reordered members, %q originally", i, got, want)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossProcesses pins golden owners for fixed keys.
+// Ownership is a pure function of (members, vnode count, key) — no map
+// iteration order, randomness or process state participates — so these
+// constants hold in any process on any platform; a change here means the
+// hash layout changed and every deployed fleet would re-shard.
+func TestRingDeterministicAcrossProcesses(t *testing.T) {
+	r := NewRing([]string{"http://replica-a:8404", "http://replica-b:8404", "http://replica-c:8404"}, 0)
+	golden := map[int]string{
+		0: "http://replica-b:8404",
+		1: "http://replica-c:8404",
+		2: "http://replica-c:8404",
+		3: "http://replica-b:8404",
+		4: "http://replica-a:8404",
+		5: "http://replica-b:8404",
+		6: "http://replica-a:8404",
+		7: "http://replica-c:8404",
+	}
+	for i, want := range golden {
+		if got := r.Owner(key(i)); got != want {
+			t.Errorf("Owner(key(%d)) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestRingRedistribution checks the consistent-hashing contract on
+// membership change: a join moves only keys that land on the new member
+// (~K/n of them), a leave moves only keys the departed member owned.
+func TestRingRedistribution(t *testing.T) {
+	const K = 20000
+	members := []string{"http://a", "http://b", "http://c", "http://d", "http://e"}
+	before := NewRing(members, 0)
+
+	t.Run("join", func(t *testing.T) {
+		after := NewRing(append(append([]string(nil), members...), "http://f"), 0)
+		moved := 0
+		for i := 0; i < K; i++ {
+			k := key(i)
+			was, is := before.Owner(k), after.Owner(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != "http://f" {
+				t.Fatalf("key %d moved %q → %q, not to the joining member", i, was, is)
+			}
+		}
+		ideal := K / (len(members) + 1)
+		if moved == 0 || moved > 2*ideal {
+			t.Fatalf("join moved %d of %d keys; want ~%d (bounded by 2x)", moved, K, ideal)
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		after := NewRing(members[:len(members)-1], 0) // drop http://e
+		moved := 0
+		for i := 0; i < K; i++ {
+			k := key(i)
+			was, is := before.Owner(k), after.Owner(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if was != "http://e" {
+				t.Fatalf("key %d moved %q → %q although its owner stayed in the ring", i, was, is)
+			}
+		}
+		ideal := K / len(members)
+		if moved == 0 || moved > 2*ideal {
+			t.Fatalf("leave moved %d of %d keys; want ~%d (bounded by 2x)", moved, K, ideal)
+		}
+	})
+}
+
+// TestRingBalance checks that vnode spreading keeps per-member shares
+// within a reasonable band of uniform.
+func TestRingBalance(t *testing.T) {
+	const K = 30000
+	members := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(members, 0)
+	counts := make(map[string]int)
+	for i := 0; i < K; i++ {
+		counts[r.Owner(key(i))]++
+	}
+	ideal := K / len(members)
+	for m, n := range counts {
+		if n < ideal/2 || n > 2*ideal {
+			t.Errorf("member %s owns %d of %d keys; want within [%d, %d]", m, n, K, ideal/2, 2*ideal)
+		}
+	}
+}
+
+// TestRingEmpty pins the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	if got := NewRing(nil, 0).Owner(key(1)); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	one := NewRing([]string{"http://solo"}, 0)
+	for i := 0; i < 100; i++ {
+		if got := one.Owner(key(i)); got != "http://solo" {
+			t.Fatalf("single-member ring owner = %q", got)
+		}
+	}
+}

@@ -50,6 +50,9 @@ const (
 	Dedup
 	// DiskHit: decoded from the on-disk store, no simulation.
 	DiskHit
+	// RemoteHit: fetched from the shared fleet cache tier (another
+	// replica computed this cell), no simulation.
+	RemoteHit
 	// Bypass: the configuration is not cacheable (unknown policy or CIS,
 	// per-job retention); the simulation ran directly.
 	Bypass
@@ -66,6 +69,8 @@ func (o Outcome) String() string {
 		return "dedup"
 	case DiskHit:
 		return "disk-hit"
+	case RemoteHit:
+		return "remote-hit"
 	case Bypass:
 		return "bypass"
 	default:
@@ -75,7 +80,9 @@ func (o Outcome) String() string {
 
 // Avoided reports whether the outcome skipped a simulation this process
 // would otherwise have paid for.
-func (o Outcome) Avoided() bool { return o == Hit || o == Dedup || o == DiskHit }
+func (o Outcome) Avoided() bool {
+	return o == Hit || o == Dedup || o == DiskHit || o == RemoteHit
+}
 
 // entry is one cell's single-flight slot. The leader (whoever inserted
 // it) closes done after setting acc or err; the channel close publishes
@@ -96,7 +103,8 @@ type Cache struct {
 
 	mu      sync.Mutex
 	entries map[[32]byte]*entry
-	dir     string // "" = in-memory tier only
+	dir     string      // "" = in-memory tier only
+	remote  RemoteStore // nil = no shared fleet tier
 }
 
 // New returns an empty in-memory cache. Call SetDir to add the disk tier.
@@ -168,12 +176,20 @@ func (c *Cache) RunContext(ctx context.Context, cfg core.Config, jobs *workload.
 	e := &entry{done: make(chan struct{})}
 	c.entries[fp] = e
 	dir := c.dir
+	remote := c.remote
 	c.mu.Unlock()
 
+	// Tier order for the single-flight leader: disk (local, trusted) →
+	// remote fleet tier (another replica computed it) → compute. A remote
+	// hit also warms the local disk tier; a computed cell is offered to
+	// both, so the cell's ring owner ends up holding it for the fleet.
 	outcome := Computed
 	acc := c.loadDisk(dir, fp)
 	if acc != nil {
 		outcome = DiskHit
+	} else if acc = c.loadRemote(ctx, remote, fp); acc != nil {
+		outcome = RemoteHit
+		c.storeDisk(dir, fp, acc)
 	} else {
 		res, err := core.RunContext(ctx, canon, jobs)
 		if err != nil {
@@ -186,6 +202,9 @@ func (c *Cache) RunContext(ctx context.Context, cfg core.Config, jobs *workload.
 		}
 		acc = res.Accumulator()
 		c.storeDisk(dir, fp, acc)
+		if remote != nil {
+			c.storeRemote(ctx, remote, fp, metrics.EncodeAccumulator(acc))
+		}
 	}
 	e.acc = acc
 	close(e.done)

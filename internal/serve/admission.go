@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // Sentinel admission outcomes. Handlers translate them to HTTP statuses:
@@ -28,11 +29,22 @@ type admission struct {
 	run   chan struct{} // slots held while the handler does work
 	drain chan struct{} // closed by startDrain
 	once  sync.Once
+	now   func() time.Time // injected clock; time.Now in production
 
 	mu        sync.Mutex
-	shedFull  int64 // requests rejected with errQueueFull
-	shedDrain int64 // requests rejected with errDraining
+	shedFull  int64   // requests rejected with errQueueFull
+	shedDrain int64   // requests rejected with errDraining
+	ewmaNanos float64 // moving average of admit→release service time; 0 = none yet
 }
+
+// ewmaAlpha weights the newest service-time observation: high enough to
+// track load shifts within a few tens of requests, low enough that one
+// slow outlier doesn't swing the retry hint.
+const ewmaAlpha = 0.2
+
+// maxRetryAfter caps the adaptive hint: past a minute the estimate says
+// less "when to retry" than "find another replica".
+const maxRetryAfter = time.Minute
 
 func newAdmission(queueDepth, maxConcurrent int) *admission {
 	if queueDepth < 0 {
@@ -45,6 +57,7 @@ func newAdmission(queueDepth, maxConcurrent int) *admission {
 		queue: make(chan struct{}, queueDepth),
 		run:   make(chan struct{}, maxConcurrent),
 		drain: make(chan struct{}),
+		now:   time.Now,
 	}
 }
 
@@ -61,7 +74,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: a free running slot admits without touching the queue.
 	select {
 	case a.run <- struct{}{}:
-		return a.releaseRun, nil
+		return a.releaseRun(), nil
 	default:
 	}
 	select {
@@ -73,7 +86,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	defer func() { <-a.queue }()
 	select {
 	case a.run <- struct{}{}:
-		return a.releaseRun, nil
+		return a.releaseRun(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-a.drain:
@@ -82,7 +95,63 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
-func (a *admission) releaseRun() { <-a.run }
+// releaseRun builds the release closure for one admitted request: it
+// frees the running slot and feeds the observed service time into the
+// drain-rate estimate behind Retry-After.
+func (a *admission) releaseRun() func() {
+	start := a.now()
+	return func() {
+		a.observe(a.now().Sub(start))
+		<-a.run
+	}
+}
+
+func (a *admission) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	a.mu.Lock()
+	if a.ewmaNanos == 0 {
+		a.ewmaNanos = float64(d)
+	} else {
+		a.ewmaNanos = ewmaAlpha*float64(d) + (1-ewmaAlpha)*a.ewmaNanos
+	}
+	a.mu.Unlock()
+}
+
+// serviceTime returns the current service-time estimate, zero before any
+// request has completed.
+func (a *admission) serviceTime() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return time.Duration(a.ewmaNanos)
+}
+
+// retryAfter estimates how long a just-shed client should wait before
+// retrying: the backlog ahead of it (the full queue plus itself) drains
+// at maxConcurrent requests per observed service time. The estimate
+// scales with load — a queue of quick advisory calls empties in well
+// under a second, a queue of simulations takes many — where a fixed hint
+// either hammers a busy server or idles a recovering one. Before any
+// observation exists the configured fallback applies; the result is
+// clamped to [fallback, maxRetryAfter].
+func (a *admission) retryAfter(fallback time.Duration) time.Duration {
+	a.mu.Lock()
+	ewma := a.ewmaNanos
+	a.mu.Unlock()
+	if ewma <= 0 {
+		return fallback
+	}
+	backlog := float64(len(a.queue) + 1)
+	wait := time.Duration(ewma * backlog / float64(cap(a.run)))
+	if wait < fallback {
+		return fallback
+	}
+	if wait > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return wait
+}
 
 // startDrain flips the gate into shedding mode; idempotent.
 func (a *admission) startDrain() { a.once.Do(func() { close(a.drain) }) }

@@ -117,3 +117,101 @@ func TestAdmissionDrainShedsQueued(t *testing.T) {
 		t.Fatalf("shedDrain = %d, want 2", drain)
 	}
 }
+
+// fakeClock is a manually-advanced clock for service-time tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestAdmissionRetryAfterScalesWithDrainRate pins the adaptive hint: with
+// no observations it is the configured fallback; once requests complete,
+// it is the backlog divided by the observed drain rate — long for a queue
+// of slow work, the floor for a queue of fast work — and capped.
+func TestAdmissionRetryAfterScalesWithDrainRate(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	a := newAdmission(4, 1)
+	a.now = clock.now
+
+	fallback := time.Second
+	if got := a.retryAfter(fallback); got != fallback {
+		t.Fatalf("retryAfter with no observations = %v, want fallback %v", got, fallback)
+	}
+
+	// Observe slow work: 10s per request, one worker.
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(10 * time.Second)
+	release()
+	if got := a.serviceTime(); got != 10*time.Second {
+		t.Fatalf("serviceTime = %v, want 10s", got)
+	}
+
+	// Fill the running slot and the queue so retryAfter sees a backlog.
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan func(), 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			r, err := a.acquire(context.Background())
+			if err == nil {
+				queued <- r
+			}
+		}()
+	}
+	waitFor(t, "queue to fill", func() bool { return a.queued() == 4 })
+
+	// Backlog of 5 (queue + the retrying client) at 10s each on 1 worker.
+	if got := a.retryAfter(fallback); got != 50*time.Second {
+		t.Fatalf("retryAfter = %v, want 50s", got)
+	}
+
+	// Faster observed work shrinks the hint down to the fallback floor.
+	a.mu.Lock()
+	a.ewmaNanos = float64(50 * time.Millisecond)
+	a.mu.Unlock()
+	if got := a.retryAfter(fallback); got != fallback {
+		t.Fatalf("retryAfter with fast drain = %v, want floor %v", got, fallback)
+	}
+
+	// And pathological slowness is capped.
+	a.mu.Lock()
+	a.ewmaNanos = float64(10 * time.Minute)
+	a.mu.Unlock()
+	if got := a.retryAfter(fallback); got != maxRetryAfter {
+		t.Fatalf("retryAfter with huge ewma = %v, want cap %v", got, maxRetryAfter)
+	}
+
+	hold()
+	for i := 0; i < 4; i++ {
+		(<-queued)()
+	}
+}
+
+// TestAdmissionServiceTimeEWMA pins the averaging: later observations
+// move the estimate by the documented weight, so one outlier cannot swing
+// the retry hint to its full value.
+func TestAdmissionServiceTimeEWMA(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	a := newAdmission(0, 1)
+	a.now = clock.now
+
+	serve := func(d time.Duration) {
+		r, err := a.acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(d)
+		r()
+	}
+	serve(time.Second)
+	serve(11 * time.Second) // outlier
+	want := time.Duration(ewmaAlpha*float64(11*time.Second) + (1-ewmaAlpha)*float64(time.Second))
+	if got := a.serviceTime(); got != want {
+		t.Fatalf("serviceTime after outlier = %v, want %v", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/cloud"
@@ -22,6 +23,13 @@ const (
 	maxAdviseWait    = 7 * simtime.Day
 	maxAdviseCPUs    = 1 << 20
 	maxAdviseBodyLen = 1 << 20
+)
+
+// Default waiting-time guarantees as request values, shared by reference
+// so normalization never allocates them. Read-only by contract.
+var (
+	defaultWaitShortMinutes = int64(defaultWaitShort.Minutes())
+	defaultWaitLongMinutes  = int64(defaultWaitLong.Minutes())
 )
 
 // AdviseRequest is one online scheduling query: "a job like this just
@@ -94,15 +102,26 @@ type AdviseResponse struct {
 // silently meaning something else.
 func decodeAdvise(r io.Reader) (AdviseRequest, error) {
 	var req AdviseRequest
-	dec := json.NewDecoder(io.LimitReader(r, maxAdviseBodyLen))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return AdviseRequest{}, fmt.Errorf("invalid JSON: %w", err)
-	}
-	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
-		return AdviseRequest{}, errors.New("invalid JSON: trailing data after request object")
+	if err := decodeAdviseInto(r, &req); err != nil {
+		return AdviseRequest{}, err
 	}
 	return req, nil
+}
+
+// decodeAdviseInto is decodeAdvise writing into a caller-owned (possibly
+// pooled) request, which it fully resets first. On error the request
+// contents are unspecified.
+func decodeAdviseInto(r io.Reader, req *AdviseRequest) error {
+	*req = AdviseRequest{}
+	dec := json.NewDecoder(io.LimitReader(r, maxAdviseBodyLen))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return errors.New("invalid JSON: trailing data after request object")
+	}
+	return nil
 }
 
 // normalizeAdvise validates a decoded request against the server's trace
@@ -116,6 +135,14 @@ func (s *Server) normalizeAdvise(req *AdviseRequest) error {
 	if !ok {
 		return fmt.Errorf("unknown region %q (GET /v1/traces lists the available ones)", req.Region)
 	}
+	return normalizeAdviseJob(req, tr)
+}
+
+// normalizeAdviseJob is the per-job half of normalization — everything
+// except the policy and region checks, which the batch endpoint resolves
+// once for thousands of jobs. req.Region must already be normalized to a
+// key of the region map that produced tr.
+func normalizeAdviseJob(req *AdviseRequest, tr *carbon.Trace) error {
 	length := simtime.Duration(req.LengthMinutes)
 	if length <= 0 || length > maxAdviseLength {
 		return fmt.Errorf("length_minutes must be in [1, %d]", maxAdviseLength.Minutes())
@@ -145,11 +172,14 @@ func (s *Server) normalizeAdvise(req *AdviseRequest) error {
 			workload.QueueShort.String(), workload.QueueLong.String())
 	}
 	if req.MaxWaitMinutes == nil {
-		w := int64(defaultWaitShort.Minutes())
+		// Point at the shared defaults rather than allocating: nothing
+		// downstream writes through the pointer, and the batch path
+		// normalizes thousands of requests per call.
 		if req.Queue == workload.QueueLong.String() {
-			w = int64(defaultWaitLong.Minutes())
+			req.MaxWaitMinutes = &defaultWaitLongMinutes
+		} else {
+			req.MaxWaitMinutes = &defaultWaitShortMinutes
 		}
-		req.MaxWaitMinutes = &w
 	}
 	if *req.MaxWaitMinutes < 0 || simtime.Duration(*req.MaxWaitMinutes) > maxAdviseWait {
 		return fmt.Errorf("max_wait_minutes must be in [0, %d]", maxAdviseWait.Minutes())
@@ -166,14 +196,64 @@ func (s *Server) normalizeAdvise(req *AdviseRequest) error {
 	return nil
 }
 
-// advise answers one normalized request. It follows the offline
-// scheduler's decision path exactly: a fresh policy.Context per request
-// (contexts carry scratch state and are not concurrency-safe) layered
-// over the region trace's shared, immutable oracle tables, then the same
-// Policy.Decide call core.Run makes — so the advisory start times are
-// byte-identical to what a simulation of that moment would choose. The
-// differential test in advise_diff_test.go pins this equivalence.
+// ctxKey identifies the inputs that determine a policy.Context for the
+// advisory path. Region traces are built once at startup and shared, so
+// trace pointer identity is region identity.
+type ctxKey struct {
+	tr      *carbon.Trace
+	queue   workload.Queue
+	maxWait simtime.Duration
+	avgLen  simtime.Duration
+}
+
+// adviseScratch is the reusable per-request state of the advise hot path.
+// handleAdvise pools these across requests and the batch endpoint carries
+// one per batch, so steady-state serving reuses the policy context (and
+// its oracle fast-path wiring), the response struct, the plan and window
+// slices, and the output buffer instead of reallocating them per job.
+//
+// Reusing a policy.Context across sequential Decide calls is the
+// simulator's own access pattern (core.Run drives every job in a run
+// through one context); contexts are not concurrency-safe, which the
+// pool's one-owner discipline already guarantees.
+type adviseScratch struct {
+	key     ctxKey
+	pctx    *policy.Context
+	req     AdviseRequest
+	resp    AdviseResponse
+	buf     []byte
+	windows []simtime.Interval
+
+	// Batch-path state: body buffer, decoder scratch, decoded batch,
+	// normalized requests, and the duplicate-query memo with its line
+	// arena. All reused across batches via the pool.
+	body  []byte
+	dec   batchDecoder
+	batch AdviseBatchRequest
+	reqs  []AdviseRequest
+	memo  map[batchMemoKey]lineSpan
+	arena []byte
+}
+
+var adviseScratchPool = sync.Pool{New: func() any { return new(adviseScratch) }}
+
+// advise answers one normalized request through a fresh, unpooled scratch.
+// It is the reference entry point: the pooled handler path and the batch
+// endpoint must stay byte-identical to it (advise_diff_test.go and the
+// batch differential test pin this).
 func (s *Server) advise(req AdviseRequest) (*AdviseResponse, error) {
+	sc := new(adviseScratch)
+	return s.adviseInto(&req, sc)
+}
+
+// adviseInto answers one normalized request. It follows the offline
+// scheduler's decision path exactly: a policy.Context (rebuilt only when
+// the request's region/queue parameters change) layered over the region
+// trace's shared, immutable oracle tables, then the same Policy.Decide
+// call core.Run makes — so the advisory start times are byte-identical to
+// what a simulation of that moment would choose. The returned response
+// aliases sc.resp and is valid until sc is reused or released.
+func (s *Server) adviseInto(req *AdviseRequest, sc *adviseScratch) (*AdviseResponse, error) {
 	tr := s.regions[req.Region]
 	pol, err := policy.ByName(req.Policy)
 	if err != nil {
@@ -191,16 +271,26 @@ func (s *Server) advise(req AdviseRequest) (*AdviseResponse, error) {
 		CPUs:    req.CPUs,
 		Queue:   queue,
 	}
-	pctx := &policy.Context{
-		CIS: carbon.NewPerfectService(tr),
-		Queues: map[workload.Queue]policy.QueueInfo{
-			queue: {
-				MaxWait:   simtime.Duration(*req.MaxWaitMinutes),
-				AvgLength: simtime.Duration(req.AvgLengthMinutes),
-			},
-		},
+	key := ctxKey{
+		tr:      tr,
+		queue:   queue,
+		maxWait: simtime.Duration(*req.MaxWaitMinutes),
+		avgLen:  simtime.Duration(req.AvgLengthMinutes),
 	}
-	pctx.EnableFastPaths()
+	pctx := sc.pctx
+	if pctx == nil || sc.key != key {
+		pctx = &policy.Context{
+			CIS: carbon.NewPerfectService(tr),
+			Queues: map[workload.Queue]policy.QueueInfo{
+				queue: {MaxWait: key.maxWait, AvgLength: key.avgLen},
+			},
+		}
+		pctx.EnableFastPaths()
+		sc.pctx, sc.key = pctx, key
+	}
+	// A reused context accumulates fast-path hits, so "did this decision
+	// take the fast path" is the delta, not the total.
+	fastBefore := pctx.FastPathHits()
 	dec := pol.Decide(job, now, pctx)
 	if err := dec.Validate(job, now); err != nil {
 		return nil, fmt.Errorf("policy returned an invalid decision: %w", err)
@@ -212,8 +302,9 @@ func (s *Server) advise(req AdviseRequest) (*AdviseResponse, error) {
 	if dec.IsPlan() {
 		windows = policy.NormalizePlan(dec.Plan, length)
 	} else {
-		windows = []simtime.Interval{{Start: dec.Start, End: dec.Start.Add(length)}}
+		windows = append(sc.windows[:0], simtime.Interval{Start: dec.Start, End: dec.Start.Add(length)})
 	}
+	sc.windows = windows[:0]
 
 	pricing, power := cloud.DefaultPricing(), cloud.DefaultPower()
 	var carbonG float64
@@ -229,7 +320,9 @@ func (s *Server) advise(req AdviseRequest) (*AdviseResponse, error) {
 	cost := pricing.HourlyRate(class) * float64(req.CPUs) * length.Hours()
 	baseCost := pricing.HourlyRate(cloud.OnDemand) * float64(req.CPUs) * length.Hours()
 
-	resp := &AdviseResponse{
+	plan := sc.resp.Plan[:0]
+	resp := &sc.resp
+	*resp = AdviseResponse{
 		Policy:              req.Policy,
 		Region:              req.Region,
 		Queue:               req.Queue,
@@ -242,13 +335,13 @@ func (s *Server) advise(req AdviseRequest) (*AdviseResponse, error) {
 		CarbonSavingsGrams:  baselineG - carbonG,
 		CostUSD:             cost,
 		BaselineCostUSD:     baseCost,
-		FastPath:            pctx.FastPathHits() > 0,
+		FastPath:            pctx.FastPathHits() > fastBefore,
 	}
 	if dec.IsPlan() {
-		resp.Plan = make([]AdviseWindow, len(windows))
-		for i, iv := range windows {
-			resp.Plan[i] = AdviseWindow{StartMinute: int64(iv.Start), EndMinute: int64(iv.End)}
+		for _, iv := range windows {
+			plan = append(plan, AdviseWindow{StartMinute: int64(iv.Start), EndMinute: int64(iv.End)})
 		}
+		resp.Plan = plan
 	}
 	return resp, nil
 }

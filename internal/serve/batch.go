@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/carbonsched/gaia/internal/policy"
+)
+
+// This file is the fleet-scale advisory path: POST /v1/advise/batch
+// answers thousands of scheduling queries in one request over the same
+// startup-built oracle tables as /v1/advise, amortizing the per-request
+// HTTP, decode, and policy-context costs across the whole batch. The
+// response is NDJSON — one line per job, in input order, each line
+// byte-identical to the /v1/advise response body for the equivalent
+// single request (the batch differential test pins this).
+//
+// The per-job budget is what makes the endpoint worth having, so the hot
+// loop is allocation-lean end to end: a hand-rolled strict decoder
+// (batchdec.go), one pooled scratch carrying the policy context and
+// output buffer across jobs, the hand-rolled response encoder
+// (jsonenc.go), and an intra-batch memo that answers duplicate queries by
+// replaying the first verdict's bytes — fleet batches are template-heavy,
+// and an advisory answer is a pure function of the normalized request.
+//
+// Error contract: everything is validated before the first response byte
+// — a bad item fails the whole request with 400 naming jobs[i], so a 200
+// status means every line that follows is a verdict. After streaming
+// starts the only failures left are client disconnect and deadline
+// expiry, both of which truncate the stream mid-line at worst; a client
+// sees that as a line without a trailing newline.
+
+// Guardrails on batch inputs, scaled up from the single-request bounds.
+const (
+	maxBatchBodyLen = 16 << 20
+	maxBatchJobs    = 100_000
+)
+
+// batchDeadlineStride bounds how many jobs are answered between deadline
+// checks while streaming; checking every job would cost more than a job.
+const batchDeadlineStride = 512
+
+// batchMemoMax caps the intra-batch dedup memo: past this many distinct
+// queries the remainder computes directly, bounding the memo's memory at
+// a few MB however large (and however diverse) the batch is.
+const batchMemoMax = 1 << 14
+
+// AdviseBatchRequest is one batch query: the policy and region are shared
+// by every job (one advisory context answers the whole batch), the
+// per-job fields match AdviseRequest.
+type AdviseBatchRequest struct {
+	// Policy and Region apply to every job; see AdviseRequest.
+	Policy string `json:"policy"`
+	Region string `json:"region"`
+	// Jobs are the queries, answered in order, one NDJSON line each.
+	Jobs []AdviseBatchJob `json:"jobs"`
+}
+
+// AdviseBatchJob carries the per-job fields of AdviseRequest; semantics
+// and defaults are identical to the single-request endpoint.
+type AdviseBatchJob struct {
+	LengthMinutes    int64  `json:"length_minutes"`
+	CPUs             int    `json:"cpus,omitempty"`
+	ArrivalMinute    int64  `json:"arrival_minute,omitempty"`
+	Queue            string `json:"queue,omitempty"`
+	MaxWaitMinutes   *int64 `json:"max_wait_minutes,omitempty"`
+	AvgLengthMinutes int64  `json:"avg_length_minutes,omitempty"`
+	SpotMaxMinutes   int64  `json:"spot_max_minutes,omitempty"`
+}
+
+// single converts one batch job to the equivalent single-endpoint request.
+func (b *AdviseBatchRequest) single(i int) AdviseRequest {
+	j := &b.Jobs[i]
+	return AdviseRequest{
+		Policy:           b.Policy,
+		Region:           b.Region,
+		LengthMinutes:    j.LengthMinutes,
+		CPUs:             j.CPUs,
+		ArrivalMinute:    j.ArrivalMinute,
+		Queue:            j.Queue,
+		MaxWaitMinutes:   j.MaxWaitMinutes,
+		AvgLengthMinutes: j.AvgLengthMinutes,
+		SpotMaxMinutes:   j.SpotMaxMinutes,
+	}
+}
+
+// batchMemoKey is a normalized request minus the batch-constant policy
+// and region: equal keys get byte-identical verdicts.
+type batchMemoKey struct {
+	lengthMin int64
+	cpus      int
+	arrival   int64
+	queueLong bool
+	maxWait   int64
+	avgLen    int64
+	spotMax   int64
+}
+
+// lineSpan locates one memoized verdict line in the batch arena.
+type lineSpan struct{ off, end int }
+
+// decodeAdviseBatch strictly parses one batch body (see batchdec.go for
+// the accepted grammar). Kept as a reader-based entry point for tests;
+// the handler decodes from its pooled body buffer directly.
+func decodeAdviseBatch(r io.Reader) (AdviseBatchRequest, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxBatchBodyLen+1))
+	if err != nil {
+		return AdviseBatchRequest{}, fmt.Errorf("reading body: %w", err)
+	}
+	if len(data) > maxBatchBodyLen {
+		return AdviseBatchRequest{}, fmt.Errorf("body exceeds %d bytes", maxBatchBodyLen)
+	}
+	var req AdviseBatchRequest
+	var d batchDecoder
+	if err := decodeAdviseBatchBytes(&d, data, &req); err != nil {
+		return AdviseBatchRequest{}, err
+	}
+	return req, nil
+}
+
+func (s *Server) handleAdviseBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.BatchTimeout)
+	defer cancel()
+
+	sc := adviseScratchPool.Get().(*adviseScratch)
+	defer adviseScratchPool.Put(sc)
+	body, err := readBody(&sc.body, r.Body, maxBatchBodyLen)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	batch := &sc.batch
+	if err := decodeAdviseBatchBytes(&sc.dec, body, batch); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(batch.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "jobs must contain at least one entry")
+		return
+	}
+
+	// Resolve the batch-constant policy and region once, then validate
+	// every job before the first response byte. The normalized requests
+	// are kept (in pooled storage) so the streaming pass repeats no
+	// validation work.
+	if _, err := policy.ByName(batch.Policy); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	region := strings.ToUpper(strings.TrimSpace(batch.Region))
+	tr, ok := s.regions[region]
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown region %q (GET /v1/traces lists the available ones)", batch.Region))
+		return
+	}
+	reqs := sc.reqs[:0]
+	for i := range batch.Jobs {
+		req := batch.single(i)
+		req.Region = region
+		if err := normalizeAdviseJob(&req, tr); err != nil {
+			sc.reqs = reqs[:0]
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("jobs[%d]: %v", i, err))
+			return
+		}
+		reqs = append(reqs, req)
+	}
+	sc.reqs = reqs
+
+	if sc.memo == nil {
+		sc.memo = make(map[batchMemoKey]lineSpan)
+	}
+	clear(sc.memo)
+	arena := sc.arena[:0]
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for i := range reqs {
+		if i%batchDeadlineStride == 0 && ctx.Err() != nil {
+			break // deadline or client gone: truncate the stream
+		}
+		req := &reqs[i]
+		key := batchMemoKey{
+			lengthMin: req.LengthMinutes,
+			cpus:      req.CPUs,
+			arrival:   req.ArrivalMinute,
+			queueLong: req.Queue == "long",
+			maxWait:   *req.MaxWaitMinutes,
+			avgLen:    req.AvgLengthMinutes,
+			spotMax:   req.SpotMaxMinutes,
+		}
+		if span, ok := sc.memo[key]; ok {
+			if _, err := bw.Write(arena[span.off:span.end]); err != nil {
+				break
+			}
+			continue
+		}
+		resp, err := s.adviseInto(req, sc)
+		if err != nil {
+			// Unreachable for validated input (Decide is deterministic and
+			// its decisions validate); if a policy bug ever trips it, the
+			// truncated stream is the only honest signal left post-200.
+			s.cfg.Logf("serve: batch advise job %d: %v (stream truncated)", i, err)
+			break
+		}
+		sc.buf = appendAdviseResponse(sc.buf[:0], resp)
+		sc.buf = append(sc.buf, '\n')
+		if len(sc.memo) < batchMemoMax {
+			off := len(arena)
+			arena = append(arena, sc.buf...)
+			sc.memo[key] = lineSpan{off: off, end: len(arena)}
+		}
+		if _, err := bw.Write(sc.buf); err != nil {
+			break
+		}
+	}
+	sc.arena = arena
+	bw.Flush()
+}
+
+// readBody reads at most limit bytes into the pooled buffer *dst,
+// erroring on larger bodies.
+func readBody(dst *[]byte, r io.Reader, limit int) ([]byte, error) {
+	buf := (*dst)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			*dst = buf
+			if len(buf) > limit {
+				return nil, fmt.Errorf("body exceeds %d bytes", limit)
+			}
+			return buf, nil
+		}
+		if err != nil {
+			*dst = buf
+			return nil, fmt.Errorf("reading body: %w", err)
+		}
+		if len(buf) > limit {
+			*dst = buf
+			return nil, fmt.Errorf("body exceeds %d bytes", limit)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file is the serving layer's allocation-lean JSON encoder: append-
+// style primitives whose output is byte-identical to encoding/json for
+// the value shapes the advise endpoints emit. Byte-identity is a hard
+// requirement, not cosmetics — the differential tests pin served bodies
+// against json.Marshal of the same struct, and the batch endpoint pins
+// each NDJSON line against the single-request endpoint. FuzzJSONEncode
+// checks the equivalence over arbitrary strings and floats.
+
+// jsonSafe marks the bytes encoding/json emits verbatim inside a string
+// when HTML escaping is on (the json.Marshal default): printable ASCII
+// minus the JSON metacharacters and the HTML-sensitive <, >, &.
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for b := ' '; b < utf8.RuneSelf; b++ {
+		safe[b] = b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+	}
+	return
+}()
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, escaping exactly
+// as encoding/json does with HTML escaping enabled: metacharacters and
+// control bytes escaped, invalid UTF-8 replaced with U+FFFD, and the
+// JavaScript line separators U+2028/U+2029 escaped.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case c == utf8.RuneError && size == 1:
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+		case c == '\u2028' || c == '\u2029':
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+		default:
+			i += size
+		}
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendJSONFloat appends f in encoding/json's float format: %f-style for
+// mid-range magnitudes, %e-style (with the exponent's leading zero
+// stripped) outside [1e-6, 1e21). The caller must not pass NaN or ±Inf —
+// json.Marshal rejects those, and no advisory figure can produce them.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// strconv writes e-09; JSON convention is e-9.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// appendAdviseResponse appends r exactly as json.Marshal renders it:
+// fields in declaration order, plan omitted when empty.
+func appendAdviseResponse(dst []byte, r *AdviseResponse) []byte {
+	dst = append(dst, `{"policy":`...)
+	dst = appendJSONString(dst, r.Policy)
+	dst = append(dst, `,"region":`...)
+	dst = appendJSONString(dst, r.Region)
+	dst = append(dst, `,"queue":`...)
+	dst = appendJSONString(dst, r.Queue)
+	dst = append(dst, `,"start_minute":`...)
+	dst = strconv.AppendInt(dst, r.StartMinute, 10)
+	dst = append(dst, `,"finish_minute":`...)
+	dst = strconv.AppendInt(dst, r.FinishMinute, 10)
+	dst = append(dst, `,"wait_minutes":`...)
+	dst = strconv.AppendInt(dst, r.WaitMinutes, 10)
+	if len(r.Plan) > 0 {
+		dst = append(dst, `,"plan":[`...)
+		for i, w := range r.Plan {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"start_minute":`...)
+			dst = strconv.AppendInt(dst, w.StartMinute, 10)
+			dst = append(dst, `,"end_minute":`...)
+			dst = strconv.AppendInt(dst, w.EndMinute, 10)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"instance_class":`...)
+	dst = appendJSONString(dst, r.InstanceClass)
+	dst = append(dst, `,"carbon_grams":`...)
+	dst = appendJSONFloat(dst, r.CarbonGrams)
+	dst = append(dst, `,"baseline_carbon_grams":`...)
+	dst = appendJSONFloat(dst, r.BaselineCarbonGrams)
+	dst = append(dst, `,"carbon_savings_grams":`...)
+	dst = appendJSONFloat(dst, r.CarbonSavingsGrams)
+	dst = append(dst, `,"cost_usd":`...)
+	dst = appendJSONFloat(dst, r.CostUSD)
+	dst = append(dst, `,"baseline_cost_usd":`...)
+	dst = appendJSONFloat(dst, r.BaselineCostUSD)
+	dst = append(dst, `,"fast_path":`...)
+	dst = strconv.AppendBool(dst, r.FastPath)
+	return append(dst, '}')
+}

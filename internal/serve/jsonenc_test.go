@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzJSONEncode pins the hand-rolled string and float encoders
+// byte-identical to encoding/json over arbitrary input — the property
+// every differential test in this package ultimately leans on.
+func FuzzJSONEncode(f *testing.F) {
+	f.Add("", 0.0)
+	f.Add("carbon-time", 123.456)
+	f.Add("quote\"back\\slash", 1e-7)
+	f.Add("html<&>chars", 1e21)
+	f.Add("control\x00\x01\x1f\tchars", -1e-300)
+	f.Add("line\u2028sep\u2029ators", math.MaxFloat64)
+	f.Add("invalid\xff\xfeutf8", math.SmallestNonzeroFloat64)
+	f.Add("bell\bform\ffeed", -0.0)
+	f.Add("ünïcødé ☃", 9.999999e20)
+	f.Add("surrogate\xed\xa0\x80tail", 1e-6)
+	f.Fuzz(func(t *testing.T, s string, v float64) {
+		wantS, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		if got := appendJSONString(nil, s); string(got) != string(wantS) {
+			t.Errorf("appendJSONString(%q) = %s, json.Marshal = %s", s, got, wantS)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return // json.Marshal rejects; the encoder's contract excludes them
+		}
+		wantV, err := json.Marshal(v)
+		if err != nil {
+			t.Skip()
+		}
+		if got := appendJSONFloat(nil, v); string(got) != string(wantV) {
+			t.Errorf("appendJSONFloat(%v) = %s, json.Marshal = %s", v, got, wantV)
+		}
+	})
+}
+
+// TestAppendAdviseResponse pins the struct encoder against json.Marshal
+// across the response shapes the endpoints produce.
+func TestAppendAdviseResponse(t *testing.T) {
+	cases := []AdviseResponse{
+		{},
+		{
+			Policy: "carbon-time", Region: "CA-US", Queue: "short",
+			StartMinute: 300, FinishMinute: 420, WaitMinutes: 0,
+			InstanceClass: "on-demand",
+			CarbonGrams:   123.456789, BaselineCarbonGrams: 200,
+			CarbonSavingsGrams: 76.543211, CostUSD: 0.475, BaselineCostUSD: 0.475,
+			FastPath: true,
+		},
+		{
+			Policy: "wait-awhile", Region: "SE", Queue: "long",
+			StartMinute: -1, FinishMinute: 1 << 40, WaitMinutes: 59,
+			Plan: []AdviseWindow{
+				{StartMinute: 10, EndMinute: 20},
+				{StartMinute: 60, EndMinute: 120},
+				{StartMinute: 180, EndMinute: 181},
+			},
+			InstanceClass: "spot",
+			CarbonGrams:   1e-9, BaselineCarbonGrams: 1e22,
+			CarbonSavingsGrams: -0.0, CostUSD: math.MaxFloat64,
+			BaselineCostUSD: math.SmallestNonzeroFloat64,
+		},
+		{Policy: "na<me&>\"x\\", Region: "…\u2028", Queue: "\x01"},
+	}
+	for i, r := range cases {
+		want, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := appendAdviseResponse(nil, &r); string(got) != string(want) {
+			t.Errorf("case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}

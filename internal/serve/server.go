@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -35,6 +36,7 @@ import (
 
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/experiments"
+	"github.com/carbonsched/gaia/internal/fleet"
 	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/runcache"
 	"github.com/carbonsched/gaia/internal/simtime"
@@ -62,11 +64,16 @@ type Config struct {
 	// QueueDepth bounds requests waiting for a work slot beyond
 	// MaxConcurrent; the rest are shed with 429. Default 64.
 	QueueDepth int
-	// AdviseTimeout / SimulateTimeout cap one request's total time in
-	// the respective handler, queueing included. Defaults 2s / 120s.
+	// AdviseTimeout / BatchTimeout / SimulateTimeout cap one request's
+	// total time in the respective handler, queueing included.
+	// Defaults 2s / 30s / 120s.
 	AdviseTimeout   time.Duration
+	BatchTimeout    time.Duration
 	SimulateTimeout time.Duration
-	// RetryAfter is the hint attached to shed responses; default 1s.
+	// RetryAfter is the hint attached to shed responses; default 1s. For
+	// 429 sheds it is the floor (and the no-data fallback) of an adaptive
+	// hint derived from the observed queue drain rate; 503 drain sheds
+	// use it as-is, since the answer there is "go elsewhere".
 	RetryAfter time.Duration
 	// CacheDir attaches runcache's disk tier when non-empty, so warm
 	// simulation cells survive restarts.
@@ -90,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdviseTimeout <= 0 {
 		c.AdviseTimeout = 2 * time.Second
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 30 * time.Second
 	}
 	if c.SimulateTimeout <= 0 {
 		c.SimulateTimeout = 120 * time.Second
@@ -118,6 +128,9 @@ type Server struct {
 	co    *coalescer
 	obs   *observer
 	cache *runcache.Cache
+	// blobs is this replica's shard of the shared fleet cache tier,
+	// served on /v1/cache/* whether or not ConfigureFleet has run.
+	blobs *fleet.BlobStore
 
 	traceMu      sync.Mutex
 	carbonMemo   map[carbonKey]*carbon.Trace
@@ -154,13 +167,20 @@ func New(cfg Config) (*Server, error) {
 		co:           newCoalescer(),
 		obs:          newObserver(),
 		cache:        runcache.New(),
+		blobs:        fleet.NewBlobStore(0),
 		carbonMemo:   make(map[carbonKey]*carbon.Trace),
 		workloadMemo: make(map[workloadKey]*workload.Trace),
 		mux:          http.NewServeMux(),
 	}
 	s.cache.Logf = cfg.Logf
+	s.blobs.Logf = cfg.Logf
 	if cfg.CacheDir != "" {
 		if err := s.cache.SetDir(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+		// The fleet shard persists next to the run cache, so a restarted
+		// member rejoins the tier warm.
+		if err := s.blobs.SetDir(filepath.Join(cfg.CacheDir, "fleet")); err != nil {
 			return nil, err
 		}
 	}
@@ -202,18 +222,33 @@ func New(cfg Config) (*Server, error) {
 		"Requests waiting for a work slot.", func() float64 { return float64(s.adm.queued()) })
 	s.obs.registerGauge("gaia_serve_inflight",
 		"Requests currently doing work.", func() float64 { return float64(s.adm.running()) })
+	s.obs.registerGauge("gaia_serve_service_time_ewma_seconds",
+		"Moving average of admitted-request service time feeding Retry-After.",
+		func() float64 { return s.adm.serviceTime().Seconds() })
 	s.obs.registerGauge("gaia_serve_coalesced_flights",
 		"Distinct simulate computations currently in flight.", func() float64 { return float64(s.co.inFlight()) })
+	s.obs.registerGauge("gaia_serve_cache_shard_entries",
+		"Entries held by this replica's shard of the fleet cache tier.",
+		func() float64 { return float64(s.blobs.Stats().Entries) })
+	s.obs.registerGauge("gaia_serve_cache_shard_bytes",
+		"Bytes held by this replica's shard of the fleet cache tier.",
+		func() float64 { return float64(s.blobs.Stats().Bytes) })
 	return s, nil
 }
 
 func (s *Server) routes() {
 	s.mux.Handle("POST /v1/advise", s.instrument("advise", s.handleAdvise))
+	s.mux.Handle("POST /v1/advise/batch", s.instrument("advise_batch", s.handleAdviseBatch))
 	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("GET /v1/traces", s.instrument("traces", s.handleTraces))
 	s.mux.Handle("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Fleet cache-tier shard protocol (GET/PUT /v1/cache/{fp}). Peer
+	// traffic, not client traffic: it skips admission on purpose — a
+	// saturated replica that sheds its peers' cache lookups would convert
+	// its own overload into fleet-wide recomputes.
+	fleet.NewCacheServer(s.blobs).Register(s.mux)
 }
 
 // Handler exposes the route tree (httptest and embedding).
@@ -277,7 +312,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	case err == nil:
 		return release, true
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		// The hint adapts to the observed drain rate: a backlog of quick
+		// advisory calls asks the client back almost immediately, a backlog
+		// of simulations pushes it out accordingly (admission.retryAfter).
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.adm.retryAfter(s.cfg.RetryAfter))))
 		writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 	case errors.Is(err, errDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
@@ -305,15 +343,21 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AdviseTimeout)
 	defer cancel()
 
-	req, err := decodeAdvise(r.Body)
+	// The hot path runs allocation-lean: request, response, policy context
+	// and output buffer all come from a pooled scratch, and the body is
+	// rendered by the hand encoder (jsonenc.go), which the differential and
+	// fuzz tests pin byte-identical to writeJSON's json.Marshal.
+	sc := adviseScratchPool.Get().(*adviseScratch)
+	defer adviseScratchPool.Put(sc)
+	err := decodeAdviseInto(r.Body, &sc.req)
 	if err == nil {
-		err = s.normalizeAdvise(&req)
+		err = s.normalizeAdvise(&sc.req)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp, err := s.advise(req)
+	resp, err := s.adviseInto(&sc.req, sc)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -322,7 +366,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "deadline exceeded")
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.buf = appendAdviseResponse(sc.buf[:0], resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(sc.buf)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
