@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-check load-smoke figures figures-full examples serve clean
+.PHONY: all build vet lint test race cover bench bench-json bench-check bench-quick load-smoke figures figures-full examples serve clean
 
 all: build lint test race bench-check
 
@@ -42,10 +42,10 @@ bench:
 # regressions against BENCH_BASELINE, the previous PR's snapshot (only
 # benchmarks present in both are compared, so new benchmarks simply
 # start their history in the new snapshot).
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_LABEL ?= pr6
-BENCH_BASELINE ?= BENCH_PR5.json
-BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|AdviseBatch|SimulateColdVsWarm
+BENCH_JSON ?= BENCH_PR7.json
+BENCH_LABEL ?= pr7
+BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_PATTERN = SchedulerThroughput|MillionJobRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|AdviseBatch|SimulateColdVsWarm|EventCore|Chatty
 # -count=3: gaia-bench keeps each benchmark's fastest sample, which damps
 # scheduler noise on shared machines enough for the 15% gate to be stable.
 bench-json:
@@ -55,6 +55,13 @@ bench-json:
 bench-check:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -count=3 \
 		-benchmem . | $(GO) run ./cmd/gaia-bench -baseline $(BENCH_BASELINE)
+
+# Fast CI smoke of the event-core micro-benchmarks: a short -benchtime run
+# that exists to execute the wheel and heap paths under bench conditions
+# (and catch gross regressions or panics), not to produce stable numbers —
+# those come from the committed BENCH_PR*.json snapshots.
+bench-quick:
+	$(GO) test -run='^$$' -bench='EventCore|Chatty' -benchtime=0.1s -benchmem .
 
 # End-to-end fleet smoke test: gaia-load boots two gaia-serve replicas
 # joined into one cache tier, drives a short mixed load, and fails unless

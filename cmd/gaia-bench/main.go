@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -136,7 +137,10 @@ func gitCommit() string {
 
 // compare prints a per-benchmark delta table for every benchmark present
 // in both reports and returns whether any exceeded the tolerated ns/op
-// growth. Benchmarks only one side knows are listed but never gate.
+// growth. Deltas beyond the tolerance in the other direction are marked
+// "improved" (they never gate, but make wins visible in CI logs), and a
+// geomean summary line aggregates the overall movement. Benchmarks only
+// one side knows are listed but never gate.
 func compare(current *Report, baselinePath string, tolerancePct float64, w io.Writer) (bool, error) {
 	buf, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -151,6 +155,7 @@ func compare(current *Report, baselinePath string, tolerancePct float64, w io.Wr
 		baseByName[b.Package+"."+b.Name] = b
 	}
 	regressed := false
+	logRatioSum, compared := 0.0, 0
 	fmt.Fprintf(w, "comparing against %s (label %q, commit %s), tolerance +%.0f%% ns/op\n",
 		baselinePath, base.Label, base.Commit, tolerancePct)
 	for _, b := range current.Benchmarks {
@@ -162,14 +167,25 @@ func compare(current *Report, baselinePath string, tolerancePct float64, w io.Wr
 		deltaPct := 0.0
 		if old.NsPerOp > 0 {
 			deltaPct = 100 * (b.NsPerOp - old.NsPerOp) / old.NsPerOp
+			if b.NsPerOp > 0 {
+				logRatioSum += math.Log(b.NsPerOp / old.NsPerOp)
+				compared++
+			}
 		}
 		verdict := "ok"
-		if deltaPct > tolerancePct {
+		switch {
+		case deltaPct > tolerancePct:
 			verdict = "REGRESSED"
 			regressed = true
+		case deltaPct < -tolerancePct:
+			verdict = "improved"
 		}
 		fmt.Fprintf(w, "  %-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n",
 			b.Name, old.NsPerOp, b.NsPerOp, deltaPct, verdict)
+	}
+	if compared > 0 {
+		geomeanPct := 100 * (math.Exp(logRatioSum/float64(compared)) - 1)
+		fmt.Fprintf(w, "geomean ns/op delta: %+.1f%% across %d benchmarks\n", geomeanPct, compared)
 	}
 	if regressed {
 		fmt.Fprintf(w, "FAIL: ns/op regressions beyond +%.0f%%\n", tolerancePct)

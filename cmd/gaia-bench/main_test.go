@@ -78,6 +78,10 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if !strings.Contains(out.String(), "REGRESSED") {
 		t.Errorf("report lacks REGRESSED marker:\n%s", out.String())
 	}
+	// The delta column carries the signed growth, not just the verdict.
+	if !strings.Contains(out.String(), "+20.0%") {
+		t.Errorf("report lacks signed delta column:\n%s", out.String())
+	}
 
 	// A benchmark missing from the baseline never gates.
 	current.Benchmarks[0].NsPerOp = 1000
@@ -86,5 +90,37 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	regressed, err = compare(current, path, 15, &out)
 	if err != nil || regressed {
 		t.Errorf("new benchmark gated: regressed=%v err=%v", regressed, err)
+	}
+}
+
+func TestCompareMarksImprovementsAndGeomean(t *testing.T) {
+	baseline := `{"label":"old","benchmarks":[
+		{"name":"Fast","package":"example.com/mod","ns_per_op":2000},
+		{"name":"Custom","package":"example.com/mod","ns_per_op":500000}]}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast halved (1000 vs 2000); Custom is flat. Improvements must be
+	// visible but never gate.
+	var out strings.Builder
+	regressed, err := compare(current, path, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("improvement flagged as regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "-50.0%") || !strings.Contains(out.String(), "improved") {
+		t.Errorf("report lacks improved marker with signed delta:\n%s", out.String())
+	}
+	// geomean of (0.5, 1.0) is sqrt(0.5) ≈ 0.7071 → -29.3%.
+	if !strings.Contains(out.String(), "geomean ns/op delta: -29.3% across 2 benchmarks") {
+		t.Errorf("report lacks geomean summary:\n%s", out.String())
 	}
 }

@@ -127,6 +127,19 @@ var forceRetainJobs atomic.Bool
 // callers should set Config.RetainJobs instead.
 func ForceRetainJobs(v bool) { forceRetainJobs.Store(v) }
 
+// forceHeapEngine globally switches every subsequent Run's event engine
+// to the reference 4-ary heap queue instead of the timing wheel.
+var forceHeapEngine atomic.Bool
+
+// ForceHeapEngine makes every subsequent Run drive its event loop with
+// the heap queue the timing wheel replaced (v=false restores the wheel).
+// Both mechanisms execute bit-identical event sequences; this seam exists
+// for the wheel-vs-heap differential tests and benchmarks, and like
+// ForceRetainJobs it also disables fingerprint-keyed caching so a forced
+// run can never be answered from (or poison) a cache entry produced by
+// the other mechanism.
+func ForceHeapEngine(v bool) { forceHeapEngine.Store(v) }
+
 // QueueSpec configures one job-length queue: the inclusive length bound
 // that routes jobs into it and the maximum waiting time W the scheduler
 // guarantees for it.

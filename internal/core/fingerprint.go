@@ -52,6 +52,11 @@ func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
 	if canon.RetainJobs {
 		return fp, false
 	}
+	if forceHeapEngine.Load() {
+		// Heap-forced differential runs must actually simulate: answering
+		// from the cache would silently compare the wheel against itself.
+		return fp, false
+	}
 	ptag, pparam, ok := policyIdentity(canon.Policy)
 	if !ok {
 		return fp, false

@@ -169,4 +169,13 @@ func TestFingerprintNotCacheable(t *testing.T) {
 	if _, ok := (Config{Policy: policy.CarbonTime{}, Carbon: tr}).Fingerprint(jobs); ok {
 		t.Error("ForceRetainJobs: expected not fingerprintable")
 	}
+	ForceRetainJobs(false)
+
+	// Same for the heap-engine override: a heap-forced differential run
+	// answered from the cache would compare the wheel against itself.
+	ForceHeapEngine(true)
+	defer ForceHeapEngine(false)
+	if _, ok := (Config{Policy: policy.CarbonTime{}, Carbon: tr}).Fingerprint(jobs); ok {
+		t.Error("ForceHeapEngine: expected not fingerprintable")
+	}
 }

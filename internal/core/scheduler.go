@@ -86,10 +86,14 @@ func RunContext(ctx context.Context, cfg Config, jobs *workload.Trace) (res *met
 	// The scheduler's event loop is allocation-free in steady state: the
 	// normalized trace's arrivals feed straight from the trace slice (no
 	// materialized arrival events), in-flight jobs ride pooled jobState
-	// action records, and fired events recycle. Queue classification
-	// happens on the per-event copy of the job, never on the (shared,
-	// immutable) trace.
-	s.engine.SetRecycle(true)
+	// action records, and the engine's arena recycles fired events. Queue
+	// classification happens on the per-event copy of the job, never on
+	// the (shared, immutable) trace.
+	if forceHeapEngine.Load() {
+		// Differential escape hatch (ForceHeapEngine): run the reference
+		// heap queue instead of the timing wheel.
+		s.engine.SetQueue(sim.QueueHeap)
+	}
 	s.engine.SetSource(len(trace.Jobs),
 		func(i int) simtime.Time { return trace.Jobs[i].Arrival },
 		sim.PriorityArrival,
@@ -175,7 +179,7 @@ type jobState struct {
 	// Work-conservation waiter state: the policy-chosen start event and
 	// the position in the planned-start heap.
 	plannedStart simtime.Time
-	startEvent   *sim.Event
+	startEvent   sim.Handle
 	index        int
 }
 
@@ -480,7 +484,7 @@ func (s *scheduler) drainWaiting() {
 			return
 		}
 		heap.Pop(&s.waiting)
-		w.startEvent.Cancel()
+		s.engine.Cancel(w.startEvent)
 		s.startJob(w)
 	}
 }

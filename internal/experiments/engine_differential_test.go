@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/core"
+)
+
+// TestFiguresIdenticalAcrossEventQueues pins the timing-wheel event core
+// against the figure suite: every registered experiment rendered with the
+// default wheel engine must be byte-identical to the same experiment with
+// the reference heap queue forced on. Together with the sim package's
+// fuzz differential this is the contract that let the wheel replace the
+// heap — no figure can tell the queue mechanisms apart.
+func TestFiguresIdenticalAcrossEventQueues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick-scale figure suite twice")
+	}
+	defer core.ForceHeapEngine(false)
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			core.ForceHeapEngine(false)
+			out, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("wheel: %v", err)
+			}
+			wheel := out.String()
+
+			core.ForceHeapEngine(true)
+			out, err = e.Run(Quick)
+			core.ForceHeapEngine(false)
+			if err != nil {
+				t.Fatalf("heap: %v", err)
+			}
+			if heap := out.String(); heap != wheel {
+				t.Errorf("figure differs between event queues:\n--- wheel ---\n%s\n--- heap ---\n%s",
+					wheel, heap)
+			}
+		})
+	}
+}

@@ -3,6 +3,13 @@
 // explicit priority class (so that, e.g., a finishing job releases its
 // reserved units before a job starting at the same instant tries to claim
 // them) and then by schedule order, making runs bit-for-bit reproducible.
+//
+// Pending events live in a hierarchical timing wheel by default (see
+// wheel.go) with a 4-ary min-heap retained behind SetQueue as the
+// differential reference; both mechanisms fire the exact same sequence.
+// Event records are slab-allocated in a generation-checked arena and
+// recycled through a free list, so a run's event storage is bounded by its
+// peak in-flight count and Cancel is an O(1) mark instead of queue surgery.
 package sim
 
 import (
@@ -36,69 +43,51 @@ type Action interface {
 	Fire()
 }
 
-// Event is a scheduled callback. It is returned by Schedule so callers can
-// cancel it (e.g. a planned carbon-aware start that was preempted by a
-// work-conserving early start).
-type Event struct {
-	time     simtime.Time
-	priority Priority
-	seq      int64
-	fn       func()
-	act      Action
-	canceled bool
-}
+// QueueKind selects the engine's pending-event mechanism.
+type QueueKind int
 
-// before is the engine's total event order: (time, priority, seq). seq is
-// unique, so the order is strict and the execution sequence is
-// independent of heap layout.
-func (ev *Event) before(o *Event) bool {
-	if ev.time != o.time {
-		return ev.time < o.time
-	}
-	if ev.priority != o.priority {
-		return ev.priority < o.priority
-	}
-	return ev.seq < o.seq
-}
-
-// Time returns the instant the event fires at.
-func (ev *Event) Time() simtime.Time { return ev.time }
-
-// Cancel prevents the event from firing. Canceling an already-fired event
-// is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
-
-// Canceled reports whether Cancel was called.
-func (ev *Event) Canceled() bool { return ev.canceled }
+const (
+	// QueueWheel, the default: the hierarchical timing wheel — O(1)
+	// amortized schedule/cancel/advance.
+	QueueWheel QueueKind = iota
+	// QueueHeap: the 4-ary min-heap the wheel replaced, kept as the
+	// differential reference. Every run fires the exact same event
+	// sequence under either kind.
+	QueueHeap
+)
 
 // Engine is the event loop. The zero value is not usable; call NewEngine.
 type Engine struct {
 	now      simtime.Time
-	events   eventHeap
 	seq      int64
 	executed int64
-	// slab chunk-allocates events: one bump-pointer allocation per 256
-	// Schedule calls instead of one per call. Popped events stay reachable
-	// through their chunk until the whole chunk is dropped — engine
-	// lifetimes are run-scoped, so the trade is bounded and worth it.
-	slab []Event
+	kind     QueueKind
+
+	// arena slab-allocates event records, addressed by index so the
+	// backing array can grow and records can recycle through the free
+	// list (freeHead, index+1, 0 = empty). See arena.go.
+	arena    []event
+	freeHead int32
+
+	// queued counts events held by the wheel or heap, including canceled
+	// ones not yet reaped.
+	queued int
+
+	wheel wheelState
+	heap  []int32
+
 	// stream holds pre-sorted events (ScheduleSorted) consumed in order
-	// and merged with the heap at pop time. Feeding the known-sorted bulk
-	// — a workload's arrivals — through the stream keeps the heap down to
-	// the in-flight events, shortening every sift.
-	stream    []*Event
+	// and merged with the queue at pop time. Feeding the known-sorted bulk
+	// — a workload's arrivals — through the stream keeps the queue down to
+	// the in-flight events.
+	stream    []int32
 	streamPos int
+
 	// source is the zero-materialization variant of the stream: events are
-	// described by index-addressed callbacks and never exist as Event
+	// described by index-addressed callbacks and never exist as event
 	// records at all (see SetSource).
 	source srcState
-	// free holds fired events for reuse when recycling is enabled,
-	// bounding event storage by the in-flight count instead of the total
-	// event count (see SetRecycle).
-	free []*Event
-	// recycle gates the freelist: reusing an Event invalidates pointers
-	// callers may still hold after it fires, so it is opt-in.
-	recycle bool
+
 	// Interrupt probe (SetInterrupt): Run polls check every `every`
 	// executed events and stops when it returns an error.
 	interruptEvery int64
@@ -116,8 +105,22 @@ type srcState struct {
 	fire     func(i int)
 }
 
-// NewEngine creates an engine at time 0.
+// NewEngine creates an engine at time 0 using the timing wheel.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetQueue selects the pending-event mechanism. It must be called before
+// any event is scheduled or executed — switching a live queue would strand
+// its contents — and exists so differential tests and benchmarks can run
+// the heap reference against the wheel.
+func (e *Engine) SetQueue(k QueueKind) {
+	if e.seq != 0 || e.executed != 0 {
+		panic("sim: SetQueue after scheduling or running")
+	}
+	e.kind = k
+}
+
+// Queue returns the engine's pending-event mechanism.
+func (e *Engine) Queue() QueueKind { return e.kind }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() simtime.Time { return e.now }
@@ -126,27 +129,19 @@ func (e *Engine) Now() simtime.Time { return e.now }
 // not counted).
 func (e *Engine) Executed() int64 { return e.executed }
 
-// Pending returns the number of events still queued (including canceled
-// ones not yet reaped).
+// Pending returns the number of events still queued. Canceled events not
+// yet lazily reaped are included, so this is an upper bound on the events
+// that will still fire.
 func (e *Engine) Pending() int {
-	return len(e.events) + len(e.stream) - e.streamPos + e.source.n - e.source.pos
+	return e.queued + len(e.stream) - e.streamPos + e.source.n - e.source.pos
 }
-
-// SetRecycle enables event reuse: once a scheduled event has fired (or
-// been popped canceled), its storage goes onto a freelist for the next
-// Schedule call, so a long run allocates events proportional to its peak
-// in-flight count rather than its total event count. Callers must not
-// retain *Event pointers past the event's firing — Cancel on a fired
-// event could cancel an unrelated reused one — which the core scheduler
-// guarantees by construction.
-func (e *Engine) SetRecycle(v bool) { e.recycle = v }
 
 // SetSource installs a pull-based pre-sorted event source: n events whose
 // times are timeAt(0..n-1) in non-decreasing order, all at the given
-// priority, fired via fire(i). The engine merges the source with the heap
-// (and stream) at each step without ever materializing Event records, so
+// priority, fired via fire(i). The engine merges the source with the queue
+// (and stream) at each step without ever materializing event records, so
 // a million-arrival trace costs zero event storage. Source events win
-// ties against heap events at the same (time, priority) — exactly the
+// ties against queued events at the same (time, priority) — exactly the
 // order ScheduleSorted produces, since its events are enqueued (and thus
 // sequence-numbered) before any dynamic event. Source events cannot be
 // canceled. Calling SetSource replaces any previous source.
@@ -157,86 +152,150 @@ func (e *Engine) SetSource(n int, timeAt func(i int) simtime.Time, p Priority, f
 	e.source = srcState{n: n, timeAt: timeAt, priority: p, fire: fire}
 }
 
-// newEvent takes an event record from the freelist or the slab.
-func (e *Engine) newEvent() *Event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		return ev
-	}
-	if len(e.slab) == 0 {
-		e.slab = make([]Event, 256)
-	}
-	ev := &e.slab[0]
-	e.slab = e.slab[1:]
-	return ev
-}
-
-// retire returns a popped event to the freelist when recycling is on.
-func (e *Engine) retire(ev *Event) {
-	if e.recycle {
-		ev.fn, ev.act = nil, nil
-		e.free = append(e.free, ev)
-	}
-}
-
-// Schedule enqueues fn to run at t with the given priority. It panics if t
-// is in the past — schedulers deriving a start time must clamp to now
-// themselves, and silently reordering history would corrupt accounting.
-func (e *Engine) Schedule(t simtime.Time, p Priority, fn func()) *Event {
+// Schedule enqueues fn to run at t with the given priority, returning a
+// handle for Cancel/Reschedule. It panics if t is in the past — schedulers
+// deriving a start time must clamp to now themselves, and silently
+// reordering history would corrupt accounting.
+func (e *Engine) Schedule(t simtime.Time, p Priority, fn func()) Handle {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := e.schedule(t, p)
-	ev.fn = fn
-	return ev
+	h := e.schedule(t, p)
+	e.arena[h.idx].fn = fn
+	return h
 }
 
 // ScheduleAction is Schedule for a pre-allocated Action — no closure is
 // created, so pooled action records make scheduling allocation-free.
-func (e *Engine) ScheduleAction(t simtime.Time, p Priority, a Action) *Event {
+func (e *Engine) ScheduleAction(t simtime.Time, p Priority, a Action) Handle {
 	if a == nil {
 		panic("sim: scheduling nil action")
 	}
-	ev := e.schedule(t, p)
-	ev.act = a
-	return ev
+	h := e.schedule(t, p)
+	e.arena[h.idx].act = a
+	return h
 }
 
 // schedule allocates and enqueues a callback-less event at (t, p).
-func (e *Engine) schedule(t simtime.Time, p Priority) *Event {
+func (e *Engine) schedule(t simtime.Time, p Priority) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := e.newEvent()
-	*ev = Event{time: t, priority: p, seq: e.seq}
+	idx := e.alloc()
+	ev := &e.arena[idx]
+	ev.time, ev.priority, ev.seq = t, p, e.seq
+	gen := ev.gen
 	e.seq++
-	e.events.push(ev)
-	return ev
+	e.qPush(idx)
+	return Handle{idx: idx, gen: gen}
 }
 
 // ScheduleSorted enqueues fn like Schedule, but onto the engine's
-// pre-sorted stream instead of the priority heap. Successive calls must
-// be in non-decreasing (time, priority) order — the natural order of a
-// workload trace's arrivals — and the engine merges stream and heap at
-// each step, so execution order is exactly what Schedule would produce.
-// It panics on an out-of-order call.
-func (e *Engine) ScheduleSorted(t simtime.Time, p Priority, fn func()) *Event {
+// pre-sorted stream instead of the queue. Successive calls must be in
+// non-decreasing (time, priority) order — the natural order of a workload
+// trace's arrivals — and the engine merges stream and queue at each step,
+// so execution order is exactly what Schedule would produce. It panics on
+// an out-of-order call.
+func (e *Engine) ScheduleSorted(t simtime.Time, p Priority, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := e.newEvent()
-	*ev = Event{time: t, priority: p, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	ev := &e.arena[idx]
+	ev.time, ev.priority, ev.seq, ev.fn = t, p, e.seq, fn
+	gen := ev.gen
 	e.seq++
-	if n := len(e.stream); n > 0 && ev.before(e.stream[n-1]) {
+	if n := len(e.stream); n > 0 && e.before(idx, e.stream[n-1]) {
 		panic(fmt.Sprintf("sim: ScheduleSorted out of order at %v", t))
 	}
-	e.stream = append(e.stream, ev)
-	return ev
+	e.stream = append(e.stream, idx)
+	return Handle{idx: idx, gen: gen}
+}
+
+// Cancel prevents the event identified by h from firing. It returns true
+// if the event was pending and is now canceled, false if the handle is
+// stale — the event already fired, was already canceled, or h is the zero
+// Handle. Cancellation is O(1): the record is marked and reaped lazily
+// when the queue next reaches it, with no queue surgery.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.gen == 0 || h.idx < 0 || int(h.idx) >= len(e.arena) {
+		return false
+	}
+	ev := &e.arena[h.idx]
+	if ev.gen != h.gen || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// Reschedule moves the pending event identified by h to a new time and
+// priority, returning the replacement handle. Stale handles are reported
+// (ok false) rather than panicking, like Cancel. The replacement is a
+// fresh event with a new sequence number — exactly what Cancel followed
+// by Schedule would produce — so the fire order is identical under wheel
+// and heap. Panics if t is in the past, like Schedule.
+func (e *Engine) Reschedule(h Handle, t simtime.Time, p Priority) (Handle, bool) {
+	if h.gen == 0 || h.idx < 0 || int(h.idx) >= len(e.arena) {
+		return Handle{}, false
+	}
+	old := &e.arena[h.idx]
+	if old.gen != h.gen || old.canceled {
+		return Handle{}, false
+	}
+	// Capture the callback before scheduling: the fresh event may grow
+	// the arena and move the old record out from under the pointer.
+	fn, act := old.fn, old.act
+	old.canceled = true
+	nh := e.schedule(t, p)
+	if fn != nil {
+		e.arena[nh.idx].fn = fn
+	} else {
+		e.arena[nh.idx].act = act
+	}
+	return nh, true
+}
+
+// qPush enqueues an allocated event record into the selected queue.
+func (e *Engine) qPush(idx int32) {
+	e.queued++
+	if e.kind == QueueHeap {
+		e.heapPush(&e.heap, idx)
+	} else {
+		e.wheelPush(idx)
+	}
+}
+
+// qPeek returns the next live queued event, or -1. Canceled events at the
+// head are reaped here, without advancing the clock, under both queue
+// kinds — so cancellation is invisible to the fire sequence.
+func (e *Engine) qPeek() int32 {
+	if e.kind == QueueHeap {
+		for len(e.heap) > 0 {
+			top := e.heap[0]
+			if !e.arena[top].canceled {
+				return top
+			}
+			e.heapPop(&e.heap)
+			e.reap(top)
+			e.queued--
+		}
+		return -1
+	}
+	return e.wheelPeek()
+}
+
+// qPop removes and returns the event qPeek just reported.
+func (e *Engine) qPop() int32 {
+	if e.kind == QueueHeap {
+		idx := e.heapPop(&e.heap)
+		e.queued--
+		return idx
+	}
+	return e.wheelPop()
 }
 
 // SetInterrupt installs a cancellation probe: Run polls check after every
@@ -246,8 +305,10 @@ func (e *Engine) ScheduleSorted(t simtime.Time, p Priority, fn func()) *Event {
 // canceled request must stop costing CPU — and is deliberately coarse:
 // probing between events keeps the event loop allocation- and
 // branch-cheap, and an uncanceled run executes exactly the same event
-// sequence as one with no probe installed. Pass a nil check to remove the
-// probe.
+// sequence as one with no probe installed. The stride counts fired
+// events (Executed), never queue pops or canceled-event reaps, so wheel
+// and heap runs probe — and interrupt — at identical points. Pass a nil
+// check to remove the probe.
 func (e *Engine) SetInterrupt(every int64, check func() error) {
 	if every < 1 {
 		every = 1
@@ -287,15 +348,21 @@ func (e *Engine) RunUntil(deadline simtime.Time) {
 	}
 }
 
-// nextTime returns the instant of the next event to fire, if any.
+// nextTime returns the instant of the next live event to fire, if any.
+// Canceled heads are reaped in passing so the reported time is one step()
+// will actually fire at — RunUntil relies on that to honor its deadline.
 func (e *Engine) nextTime() (simtime.Time, bool) {
+	for e.streamPos < len(e.stream) && e.arena[e.stream[e.streamPos]].canceled {
+		e.reap(e.stream[e.streamPos])
+		e.advanceStream()
+	}
 	var t simtime.Time
 	ok := false
 	if e.streamPos < len(e.stream) {
-		t, ok = e.stream[e.streamPos].time, true
+		t, ok = e.arena[e.stream[e.streamPos]].time, true
 	}
-	if len(e.events) > 0 && (!ok || e.events[0].time < t) {
-		t, ok = e.events[0].time, true
+	if q := e.qPeek(); q >= 0 && (!ok || e.arena[q].time < t) {
+		t, ok = e.arena[q].time, true
 	}
 	if s := &e.source; s.pos < s.n {
 		if st := s.timeAt(s.pos); !ok || st < t {
@@ -305,24 +372,38 @@ func (e *Engine) nextTime() (simtime.Time, bool) {
 	return t, ok
 }
 
+// advanceStream consumes the stream head, resetting the backing slice
+// once fully drained so a reused engine does not hold dead capacity.
+func (e *Engine) advanceStream() {
+	e.streamPos++
+	if e.streamPos == len(e.stream) {
+		e.stream, e.streamPos = e.stream[:0], 0
+	}
+}
+
 func (e *Engine) step() {
-	// Candidate from the materialized queues: stream merged with heap by
-	// the strict (time, priority, seq) order.
-	var ev *Event
+	// Reap canceled stream heads without advancing the clock, so the
+	// stream's live head is what competes against the queue's.
+	for e.streamPos < len(e.stream) && e.arena[e.stream[e.streamPos]].canceled {
+		e.reap(e.stream[e.streamPos])
+		e.advanceStream()
+	}
+	// Candidate from the materialized queues: stream merged with the
+	// wheel or heap by the strict (time, priority, seq) order.
+	cand := e.qPeek()
 	fromStream := false
 	if e.streamPos < len(e.stream) &&
-		(len(e.events) == 0 || e.stream[e.streamPos].before(e.events[0])) {
-		ev = e.stream[e.streamPos]
+		(cand < 0 || e.before(e.stream[e.streamPos], cand)) {
+		cand = e.stream[e.streamPos]
 		fromStream = true
-	} else if len(e.events) > 0 {
-		ev = e.events[0]
 	}
 	// The source wins ties against the materialized queues: its events
 	// are, by construction, enqueued before any dynamic event, so they
 	// carry the smaller (conceptual) sequence numbers.
 	if s := &e.source; s.pos < s.n {
 		t := s.timeAt(s.pos)
-		if ev == nil || t < ev.time || (t == ev.time && s.priority <= ev.priority) {
+		if cand < 0 || t < e.arena[cand].time ||
+			(t == e.arena[cand].time && s.priority <= e.arena[cand].priority) {
 			if t < e.now {
 				panic(fmt.Sprintf("sim: source event at %v before now %v", t, e.now))
 			}
@@ -334,92 +415,24 @@ func (e *Engine) step() {
 			return
 		}
 	}
+	if cand < 0 {
+		return // only canceled events were pending; reaping was the step
+	}
 	if fromStream {
-		e.stream[e.streamPos] = nil
-		e.streamPos++
-		if e.streamPos == len(e.stream) {
-			e.stream, e.streamPos = e.stream[:0], 0
-		}
+		e.advanceStream()
 	} else {
-		ev = e.events.pop()
+		e.qPop()
 	}
+	ev := &e.arena[cand]
 	e.now = ev.time
-	if ev.canceled {
-		e.retire(ev)
-		return
-	}
 	e.executed++
-	// Capture the callback before retiring: an event scheduled from
-	// inside the callback may legitimately reuse this very record.
+	// Capture the callback before reaping: an event scheduled from inside
+	// the callback may legitimately reuse this very record.
 	fn, act := ev.fn, ev.act
-	e.retire(ev)
+	e.reap(cand)
 	if fn != nil {
 		fn()
 	} else {
 		act.Fire()
 	}
-}
-
-// eventHeap is a hand-rolled 4-ary min-heap ordered by Event.before. It
-// replaces container/heap on the engine's hottest path: hole-based sifts
-// move each displaced element once instead of swapping pairs, the wider
-// fan-out shortens the sift-down walk, and the monomorphic comparisons
-// inline. Because the event order is strict, the pop sequence is
-// bit-identical to the container/heap implementation it replaced.
-type eventHeap []*Event
-
-const heapArity = 4
-
-func (h *eventHeap) push(ev *Event) {
-	a := append(*h, ev)
-	i := len(a) - 1
-	for i > 0 {
-		p := (i - 1) / heapArity
-		if !ev.before(a[p]) {
-			break
-		}
-		a[i] = a[p]
-		i = p
-	}
-	a[i] = ev
-	*h = a
-}
-
-func (h *eventHeap) pop() *Event {
-	a := *h
-	top := a[0]
-	n := len(a) - 1
-	last := a[n]
-	a[n] = nil
-	a = a[:n]
-	*h = a
-	if n == 0 {
-		return top
-	}
-	// Sift the former tail down from the root: promote the smallest child
-	// into the hole until the tail fits.
-	i := 0
-	for {
-		c := heapArity*i + 1
-		if c >= n {
-			break
-		}
-		end := c + heapArity
-		if end > n {
-			end = n
-		}
-		m := c
-		for j := c + 1; j < end; j++ {
-			if a[j].before(a[m]) {
-				m = j
-			}
-		}
-		if !a[m].before(last) {
-			break
-		}
-		a[i] = a[m]
-		i = m
-	}
-	a[i] = last
-	return top
 }

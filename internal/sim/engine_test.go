@@ -63,10 +63,12 @@ func TestFIFOWithinSamePriority(t *testing.T) {
 func TestCancel(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	ev := e.Schedule(10, PriorityLow, func() { ran = true })
-	ev.Cancel()
-	if !ev.Canceled() {
-		t.Error("Canceled() should be true")
+	h := e.Schedule(10, PriorityLow, func() { ran = true })
+	if !e.Cancel(h) {
+		t.Error("Cancel of a pending event should report true")
+	}
+	if e.Cancel(h) {
+		t.Error("second Cancel should report false")
 	}
 	e.Run()
 	if ran {
@@ -74,6 +76,57 @@ func TestCancel(t *testing.T) {
 	}
 	if e.Executed() != 0 {
 		t.Errorf("Executed = %d", e.Executed())
+	}
+}
+
+func TestCancelStaleHandle(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(10, PriorityLow, func() {})
+	e.Run()
+	if e.Cancel(h) {
+		t.Error("Cancel after firing should report false")
+	}
+	if e.Cancel(Handle{}) {
+		t.Error("Cancel of the zero Handle should report false")
+	}
+	// The fired record recycles into a new event; the old handle's stale
+	// generation must not cancel the new tenant.
+	ran := false
+	h2 := e.Schedule(20, PriorityLow, func() { ran = true })
+	if h2.idx != h.idx {
+		t.Fatalf("expected record reuse: old idx %d, new idx %d", h.idx, h2.idx)
+	}
+	if e.Cancel(h) {
+		t.Error("stale handle canceled the recycled record's new tenant")
+	}
+	e.Run()
+	if !ran {
+		t.Error("recycled event did not run")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var got []simtime.Time
+	h := e.Schedule(10, PriorityLow, func() { got = append(got, e.Now()) })
+	nh, ok := e.Reschedule(h, 30, PriorityLow)
+	if !ok {
+		t.Fatal("Reschedule of a pending event should report true")
+	}
+	if e.Cancel(h) {
+		t.Error("original handle should be dead after Reschedule")
+	}
+	e.Schedule(20, PriorityLow, func() { got = append(got, e.Now()) })
+	e.Run()
+	want := []simtime.Time{20, 30}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if _, ok := e.Reschedule(nh, 40, PriorityLow); ok {
+		t.Error("Reschedule after firing should report false")
+	}
+	if e.Executed() != 2 {
+		t.Errorf("Executed = %d (canceled originals must not count)", e.Executed())
 	}
 }
 

@@ -1,0 +1,64 @@
+package sim
+
+// 4-ary index min-heap ordered by Engine.before. It serves two roles: the
+// whole queue when the engine runs in QueueHeap mode (the differential
+// reference), and the wheel's overflow level for events beyond the outermost
+// wheel window. Hole-based sifts move each displaced element once instead of
+// swapping pairs, the wide fan-out shortens the sift-down walk, and the
+// monomorphic comparisons inline. Because the event order is strict, the pop
+// sequence is bit-identical to the *Event heap it replaced.
+
+const heapArity = 4
+
+func (e *Engine) heapPush(h *[]int32, idx int32) {
+	a := append(*h, idx)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !e.before(idx, a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = idx
+	*h = a
+}
+
+func (e *Engine) heapPop(h *[]int32) int32 {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a = a[:n]
+	*h = a
+	if n == 0 {
+		return top
+	}
+	// Sift the former tail down from the root: promote the smallest child
+	// into the hole until the tail fits.
+	i := 0
+	for {
+		c := heapArity*i + 1
+		if c >= n {
+			break
+		}
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if e.before(a[j], a[m]) {
+				m = j
+			}
+		}
+		if !e.before(a[m], last) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = last
+	return top
+}

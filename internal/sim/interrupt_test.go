@@ -65,6 +65,49 @@ func TestInterruptNilProbeAndCleanRun(t *testing.T) {
 	}
 }
 
+// TestInterruptProbesAtIdenticalPointsAcrossQueues pins the satellite
+// guarantee that the probe stride counts fired events, never queue pops
+// or canceled-event reaps: a run salted with cancellations must probe —
+// and therefore interrupt — at the exact same executed counts under the
+// wheel and the heap.
+func TestInterruptProbesAtIdenticalPointsAcrossQueues(t *testing.T) {
+	run := func(kind QueueKind) (probes []int64, fired int) {
+		e := NewEngine()
+		e.SetQueue(kind)
+		// Interleave live events with canceled ones so the two queue
+		// mechanisms reap at different internal moments.
+		for i := 0; i < 200; i++ {
+			h := e.Schedule(simtime.Time(i), PriorityStart, func() { fired++ })
+			if i%3 == 1 {
+				e.Cancel(h)
+			}
+		}
+		e.SetInterrupt(7, func() error {
+			probes = append(probes, e.Executed())
+			if len(probes) == 5 {
+				return errors.New("stop")
+			}
+			return nil
+		})
+		e.Run()
+		return probes, fired
+	}
+	wheelProbes, wheelFired := run(QueueWheel)
+	heapProbes, heapFired := run(QueueHeap)
+	if len(wheelProbes) != len(heapProbes) {
+		t.Fatalf("probe counts differ: wheel %d, heap %d", len(wheelProbes), len(heapProbes))
+	}
+	for i := range wheelProbes {
+		if wheelProbes[i] != heapProbes[i] {
+			t.Fatalf("probe %d at different executed counts: wheel %d, heap %d",
+				i, wheelProbes[i], heapProbes[i])
+		}
+	}
+	if wheelFired != heapFired {
+		t.Fatalf("interrupted runs fired different counts: wheel %d, heap %d", wheelFired, heapFired)
+	}
+}
+
 // TestInterruptMinimumStride pins the every<1 clamp.
 func TestInterruptMinimumStride(t *testing.T) {
 	e := NewEngine()

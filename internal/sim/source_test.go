@@ -26,11 +26,15 @@ func TestSourceMergesIdenticallyWithStream(t *testing.T) {
 	const (
 		useSource mode = iota
 		useStream
+		useWheel
 		useHeap
 	)
 	run := func(m mode) []int {
 		var order []int
 		e := NewEngine()
+		if m == useHeap {
+			e.SetQueue(QueueHeap)
+		}
 		record := func(id int) {
 			order = append(order, id)
 			if id%3 == 0 {
@@ -53,7 +57,7 @@ func TestSourceMergesIdenticallyWithStream(t *testing.T) {
 				i := i
 				e.ScheduleSorted(at, PriorityArrival, func() { record(i) })
 			}
-		case useHeap:
+		case useWheel, useHeap:
 			for i, at := range times {
 				i := i
 				e.Schedule(at, PriorityArrival, func() { record(i) })
@@ -64,6 +68,9 @@ func TestSourceMergesIdenticallyWithStream(t *testing.T) {
 	}
 
 	want := run(useHeap)
+	if got := run(useWheel); !reflect.DeepEqual(got, want) {
+		t.Fatalf("wheel order diverges from heap order:\n wheel = %v\n heap  = %v", got, want)
+	}
 	if got := run(useSource); !reflect.DeepEqual(got, want) {
 		t.Fatalf("source order diverges from heap order:\n source = %v\n heap   = %v", got, want)
 	}
@@ -118,34 +125,35 @@ func TestScheduleActionOrdering(t *testing.T) {
 	}
 }
 
-// TestRecycleReusesRecords verifies that with recycling on, fired events
-// are reused and canceled events still never fire, while execution order
-// is unchanged versus a non-recycling engine.
-func TestRecycleReusesRecords(t *testing.T) {
-	run := func(recycle bool) []int {
+// TestArenaRecyclingPreservesOrder verifies that arena recycling — which
+// reuses a fired record for an event scheduled from inside its own
+// callback — never perturbs execution order, and that canceled events
+// still never fire, under both queue kinds.
+func TestArenaRecyclingPreservesOrder(t *testing.T) {
+	run := func(kind QueueKind) []int {
 		e := NewEngine()
-		e.SetRecycle(recycle)
+		e.SetQueue(kind)
 		var order []int
 		for i := 0; i < 50; i++ {
 			i := i
 			e.Schedule(simtime.Time(i), PriorityStart, func() {
 				order = append(order, i)
-				// Schedule from inside a callback: with recycling this may
-				// reuse the record currently firing.
+				// Schedule from inside a callback: this may reuse the
+				// record currently firing.
 				e.Schedule(simtime.Time(i+100), PriorityFinish, func() {
 					order = append(order, 1000+i)
 				})
 			})
 		}
-		ev := e.Schedule(60, PriorityStart, func() { order = append(order, -1) })
-		ev.Cancel()
+		h := e.Schedule(60, PriorityStart, func() { order = append(order, -1) })
+		e.Cancel(h)
 		e.Run()
 		return order
 	}
-	want := run(false)
-	got := run(true)
+	want := run(QueueHeap)
+	got := run(QueueWheel)
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("recycled order diverges:\n got  = %v\n want = %v", got, want)
+		t.Fatalf("wheel order diverges from heap:\n wheel = %v\n heap  = %v", got, want)
 	}
 	for _, id := range got {
 		if id == -1 {
@@ -154,11 +162,11 @@ func TestRecycleReusesRecords(t *testing.T) {
 	}
 }
 
-// TestRecycleBoundsStorage pins the point of recycling: a long sequential
-// chain of events reuses one record instead of growing the slab.
-func TestRecycleBoundsStorage(t *testing.T) {
+// TestArenaBoundsStorage pins the point of the free-list arena: a long
+// sequential chain of events reuses one record instead of growing storage
+// with the total event count.
+func TestArenaBoundsStorage(t *testing.T) {
 	e := NewEngine()
-	e.SetRecycle(true)
 	var n int
 	var step func()
 	step = func() {
@@ -172,11 +180,11 @@ func TestRecycleBoundsStorage(t *testing.T) {
 	if n != 10000 {
 		t.Fatalf("ran %d events", n)
 	}
-	// One initial slab chunk covers the whole chain when records recycle.
 	if got := e.seq; got != 10000 {
 		t.Fatalf("seq = %d, want 10000", got)
 	}
-	if len(e.free) != 1 {
-		t.Fatalf("freelist holds %d records, want 1", len(e.free))
+	// One arena record covers the whole chain when records recycle.
+	if len(e.arena) != 1 {
+		t.Fatalf("arena holds %d records, want 1", len(e.arena))
 	}
 }

@@ -71,12 +71,14 @@ func TestScheduleSortedPanicsOutOfOrder(t *testing.T) {
 func TestScheduleSortedCancelAndPending(t *testing.T) {
 	e := NewEngine()
 	var fired int
-	ev := e.ScheduleSorted(5, PriorityArrival, func() { fired++ })
+	h := e.ScheduleSorted(5, PriorityArrival, func() { fired++ })
 	e.ScheduleSorted(6, PriorityArrival, func() { fired++ })
 	if e.Pending() != 2 {
 		t.Fatalf("Pending = %d, want 2", e.Pending())
 	}
-	ev.Cancel()
+	if !e.Cancel(h) {
+		t.Fatal("Cancel of a pending stream event should report true")
+	}
 	e.Run()
 	if fired != 1 {
 		t.Fatalf("fired = %d, want 1 (canceled stream event must not run)", fired)

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// runBothQueues executes the same scenario under the wheel and the heap
+// and fails the test unless the two fire logs are identical — the
+// differential pin behind every wheel-path change.
+func runBothQueues(t *testing.T, scenario func(e *Engine) []int64) {
+	t.Helper()
+	var logs [2][]int64
+	for i, kind := range []QueueKind{QueueWheel, QueueHeap} {
+		e := NewEngine()
+		e.SetQueue(kind)
+		logs[i] = scenario(e)
+	}
+	if !reflect.DeepEqual(logs[0], logs[1]) {
+		t.Fatalf("wheel diverges from heap:\n wheel = %v\n heap  = %v", logs[0], logs[1])
+	}
+}
+
+// TestWheelHeapFuzzDifferential interprets a deterministic random op
+// stream — schedules at deltas straddling every wheel level, cancels, and
+// reschedules, many issued from inside callbacks — against both queue
+// kinds and requires bit-identical fire sequences. The op stream itself
+// stays in lockstep only while the fire orders match, so any divergence
+// compounds and is caught.
+func TestWheelHeapFuzzDifferential(t *testing.T) {
+	// Deltas chosen to land on and around slot, level, and overflow
+	// boundaries (level 0 spans 256 min, level 1 65536, level 2 1<<24).
+	deltas := []int64{0, 1, 2, 7, 59, 60, 254, 255, 256, 257, 1439, 1440,
+		65535, 65536, 65537, 1<<24 - 1, 1 << 24, 1<<24 + 1, 525600}
+	for seed := int64(0); seed < 10; seed++ {
+		runBothQueues(t, func(e *Engine) []int64 {
+			rng := rand.New(rand.NewSource(seed))
+			var log []int64
+			var handles []Handle
+			nextID := 0
+			var fire func(id int)
+			schedule := func() {
+				id := nextID
+				nextID++
+				d := simtime.Duration(deltas[rng.Intn(len(deltas))] + int64(rng.Intn(50)))
+				h := e.Schedule(e.Now().Add(d), Priority(rng.Intn(5)), func() { fire(id) })
+				handles = append(handles, h)
+			}
+			fire = func(id int) {
+				log = append(log, int64(id), int64(e.Now()))
+				for k := rng.Intn(4); k > 0; k-- {
+					switch rng.Intn(4) {
+					case 0, 1:
+						schedule()
+					case 2:
+						e.Cancel(handles[rng.Intn(len(handles))])
+					case 3:
+						j := rng.Intn(len(handles))
+						d := simtime.Duration(deltas[rng.Intn(len(deltas))])
+						if nh, ok := e.Reschedule(handles[j], e.Now().Add(d), Priority(rng.Intn(5))); ok {
+							handles[j] = nh
+						}
+					}
+				}
+			}
+			for i := 0; i < 100; i++ {
+				schedule()
+			}
+			e.Run()
+			return log
+		})
+	}
+}
+
+// TestSameMinuteCancelThenReschedule pins the order when a canceled
+// event's replacement lands back on the very minute that is already
+// staged for firing: the replacement must slot in by its fresh sequence
+// number, identically under wheel and heap.
+func TestSameMinuteCancelThenReschedule(t *testing.T) {
+	runBothQueues(t, func(e *Engine) []int64 {
+		var log []int64
+		mark := func(id int64) func() {
+			return func() { log = append(log, id, int64(e.Now())) }
+		}
+		victim := e.Schedule(100, PriorityStart, mark(1))
+		e.Schedule(100, PriorityStart, mark(2))
+		e.Schedule(100, PriorityFinish, mark(3))
+		e.Schedule(50, PriorityLow, func() {
+			log = append(log, 0, int64(e.Now()))
+			// Cancel, then re-create at the same minute: the replacement
+			// carries a later seq than ids 2 and 3, so it must fire last
+			// among the same-priority events at t=100.
+			e.Cancel(victim)
+			e.Schedule(100, PriorityStart, mark(4))
+		})
+		e.Run()
+		return log
+	})
+	// Also via Reschedule to the identical (time, priority).
+	runBothQueues(t, func(e *Engine) []int64 {
+		var log []int64
+		mark := func(id int64) func() {
+			return func() { log = append(log, id, int64(e.Now())) }
+		}
+		victim := e.Schedule(100, PriorityStart, mark(1))
+		e.Schedule(100, PriorityStart, mark(2))
+		e.Schedule(50, PriorityLow, func() {
+			if _, ok := e.Reschedule(victim, 100, PriorityStart); !ok {
+				panic("reschedule failed")
+			}
+		})
+		e.Run()
+		return log
+	})
+}
+
+// TestRescheduleToCurrentInstant moves a pending event to the engine's
+// current instant from inside a firing callback: it must run within the
+// same minute, after everything already ahead of it in the total order.
+func TestRescheduleToCurrentInstant(t *testing.T) {
+	runBothQueues(t, func(e *Engine) []int64 {
+		var log []int64
+		mark := func(id int64) func() {
+			return func() { log = append(log, id, int64(e.Now())) }
+		}
+		far := e.Schedule(500, PriorityLow, mark(9))
+		e.Schedule(100, PriorityStart, mark(1))
+		e.Schedule(100, PriorityFinish, func() {
+			log = append(log, 0, int64(e.Now()))
+			// Pull the far event into this very instant, at both an
+			// earlier and the same priority class.
+			if nh, ok := e.Reschedule(far, e.Now(), PriorityStart); ok {
+				far = nh
+			}
+			if nh, ok := e.Reschedule(far, e.Now(), PriorityFinish); ok {
+				far = nh
+			}
+		})
+		e.Run()
+		return log
+	})
+}
+
+// TestWheelOverflowBoundaries schedules events exactly on and around each
+// wheel level's window edge — including a trace-horizon year out, far in
+// the overflow region — and requires the fire order to match the heap's.
+func TestWheelOverflowBoundaries(t *testing.T) {
+	edges := []int64{0, 1, 255, 256, 257, 65535, 65536, 65537,
+		1<<24 - 1, 1 << 24, 1<<24 + 1, 525600, 2 * 525600}
+	runBothQueues(t, func(e *Engine) []int64 {
+		var log []int64
+		// Scheduled far-to-near so every deep event is pushed while the
+		// wheel's windows are anchored at 0.
+		for i := len(edges) - 1; i >= 0; i-- {
+			tm := simtime.Time(edges[i])
+			e.Schedule(tm, PriorityStart, func() { log = append(log, int64(e.Now())) })
+		}
+		// A mid-run burst forces a rebase after the wheel has drained.
+		e.Schedule(525600, PriorityFinish, func() {
+			for _, d := range []simtime.Duration{0, 1, 256, 65536} {
+				e.Schedule(e.Now().Add(d), PriorityLow, func() { log = append(log, int64(e.Now())) })
+			}
+		})
+		e.Run()
+		return log
+	})
+}
+
+// TestSetQueueAfterSchedulingPanics pins the guard: the queue kind is
+// fixed once events exist.
+func TestSetQueueAfterSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, PriorityLow, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetQueue after scheduling should panic")
+		}
+	}()
+	e.SetQueue(QueueHeap)
+}
