@@ -236,9 +236,13 @@ func BenchmarkMillionJobRun(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
 		retain bool
+		engine bool
 	}{
-		{"streaming", false},
-		{"retained", true},
+		{"streaming", false, false},
+		{"retained", true, false},
+		// The same cell with the event engine forced on: the gap to
+		// "streaming" is what the direct-execution run path saves.
+		{"streaming/engine", false, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			cfg := core.Config{
@@ -246,6 +250,10 @@ func BenchmarkMillionJobRun(b *testing.B) {
 				Carbon:     tr,
 				Reserved:   500,
 				RetainJobs: mode.retain,
+			}
+			if mode.engine {
+				core.ForceEventEngine(true)
+				defer core.ForceEventEngine(false)
 			}
 			var res interface{ JobCount() int }
 			b.ReportAllocs()
@@ -271,6 +279,42 @@ func BenchmarkMillionJobRun(b *testing.B) {
 			runtime.KeepAlive(res)
 		})
 	}
+}
+
+// BenchmarkDirectRun pins the direct-execution run path against the event
+// engine on one direct-eligible cell (start-based policy, no work
+// conservation, no spot): identical configuration, identical results
+// (pinned by the run-path differentials), different mechanism. The
+// "direct" ns/job against "engine" ns/job is the tentpole ratio.
+func BenchmarkDirectRun(b *testing.B) {
+	const nJobs = 200_000
+	tr := carbon.RegionSAAU.GenerateYear(1)
+	jobs := workload.AlibabaPAI().GenerateByCount(rand.New(rand.NewSource(1)), nJobs, 300*simtime.Day)
+	run := func(forceEngine bool) func(*testing.B) {
+		return func(b *testing.B) {
+			cfg := core.Config{
+				Policy:   policy.CarbonTime{},
+				Carbon:   tr,
+				Reserved: 100,
+			}
+			core.ForceEventEngine(forceEngine)
+			defer core.ForceEventEngine(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := core.Run(cfg, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.JobCount() != nJobs {
+					b.Fatalf("completed %d jobs", r.JobCount())
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed())/float64(b.N)/nJobs, "ns/job")
+		}
+	}
+	b.Run("direct", run(false))
+	b.Run("engine", run(true))
 }
 
 // BenchmarkCarbonIntegral measures the O(1) prefix-sum window integral.

@@ -52,6 +52,12 @@ type Benchmark struct {
 	// Metrics holds every remaining value/unit pair (custom
 	// b.ReportMetric units such as "speedup" or "jobs/op").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Path records which simulation run path the benchmark exercised
+	// ("direct", "wheel/engine" or "heap/engine"), derived from the
+	// sub-benchmark name under -pathmix. Empty when the name does not
+	// declare a path (or -pathmix is off), so unrelated benchmarks stay
+	// unstamped.
+	Path string `json:"path,omitempty"`
 }
 
 // Report is the document gaia-bench emits.
@@ -76,6 +82,7 @@ func main() {
 		out       = flag.String("o", "", "output path (default stdout)")
 		baseline  = flag.String("baseline", "", "committed report to compare against; exit nonzero on ns/op regressions")
 		tolerance = flag.Float64("tolerance", 15, "ns/op growth in percent tolerated before a benchmark counts as regressed")
+		pathmix   = flag.Bool("pathmix", false, "stamp each benchmark with the run path its name declares (direct, wheel/engine, heap/engine)")
 	)
 	flag.Parse()
 
@@ -83,6 +90,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gaia-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *pathmix {
+		for i := range report.Benchmarks {
+			report.Benchmarks[i].Path = pathOf(report.Benchmarks[i].Name)
+		}
 	}
 	report.Label = *label
 	report.Commit = gitCommit()
@@ -118,6 +130,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// pathOf derives the simulation run path from a benchmark name's
+// sub-benchmark segments. The convention: a segment named "direct" marks
+// the direct-execution path; "engine" or "wheel" the timing-wheel event
+// engine; "heap" the reference heap queue (an engine variant by
+// definition). Names declaring no path return "" and stay unstamped —
+// most benchmarks measure something other than the run path.
+func pathOf(name string) string {
+	for _, seg := range strings.Split(name, "/") {
+		switch seg {
+		case "direct":
+			return "direct"
+		case "engine", "wheel":
+			return "wheel/engine"
+		case "heap":
+			return "heap/engine"
+		}
+	}
+	return ""
 }
 
 // gitCommit returns the working tree's revision, "-dirty"-suffixed when

@@ -124,3 +124,46 @@ func TestCompareMarksImprovementsAndGeomean(t *testing.T) {
 		t.Errorf("report lacks geomean summary:\n%s", out.String())
 	}
 }
+
+// TestPathOf pins the -pathmix naming convention: sub-benchmark segments
+// declare the run path; anything else stays unstamped.
+func TestPathOf(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"MillionJobRun/streaming", ""},
+		{"MillionJobRun/streaming/engine", "wheel/engine"},
+		{"DirectRun/direct", "direct"},
+		{"DirectRun/engine", "wheel/engine"},
+		{"EventCoreMillionJobs/wheel", "wheel/engine"},
+		{"EventCoreMillionJobs/heap", "heap/engine"},
+		{"SchedulerThroughput", ""},
+		{"Chatty/direction", ""}, // substring of a segment must not match
+	}
+	for _, tc := range cases {
+		if got := pathOf(tc.name); got != tc.want {
+			t.Errorf("pathOf(%q) = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPathmixStamping checks the end-to-end stamp: parse output with path
+// segments, stamp, and confirm only declaring benchmarks carry a path.
+func TestPathmixStamping(t *testing.T) {
+	out := `pkg: example.com/mod
+BenchmarkRun/direct-8     	      10	 100 ns/op
+BenchmarkRun/engine-8     	      10	 200 ns/op
+BenchmarkOther-8          	      10	 300 ns/op
+`
+	report, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range report.Benchmarks {
+		report.Benchmarks[i].Path = pathOf(report.Benchmarks[i].Name)
+	}
+	want := map[string]string{"Run/direct": "direct", "Run/engine": "wheel/engine", "Other": ""}
+	for _, b := range report.Benchmarks {
+		if b.Path != want[b.Name] {
+			t.Errorf("%s stamped %q, want %q", b.Name, b.Path, want[b.Name])
+		}
+	}
+}

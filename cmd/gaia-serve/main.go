@@ -26,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +60,7 @@ func run(args []string) error {
 		batchTO       = fs.Duration("batch-timeout", 30*time.Second, "per-request /v1/advise/batch deadline")
 		fleetSelf     = fs.String("fleet-self", "", "this replica's base URL in the shared cache tier (http://host:port; empty with -fleet-peers = pure client)")
 		fleetPeers    = fs.String("fleet-peers", "", "comma-separated base URLs of the other cache-tier members")
+		debugAddr     = fs.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060; empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +90,23 @@ func run(args []string) error {
 		if err := srv.ConfigureFleet(strings.TrimSpace(*fleetSelf), peers); err != nil {
 			return err
 		}
+	}
+
+	// The profiling endpoints live on their own listener so they are never
+	// reachable through the public address: bind -debug-addr to localhost
+	// (or a management network) and the service port stays clean.
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, http.DefaultServeMux); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("gaia-serve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("gaia-serve: pprof on http://%s/debug/pprof/", ln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

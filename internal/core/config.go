@@ -140,6 +140,64 @@ var forceHeapEngine atomic.Bool
 // the other mechanism.
 func ForceHeapEngine(v bool) { forceHeapEngine.Store(v) }
 
+// forceEventEngine globally disables the direct-execution run path so
+// every subsequent Run drives the full event engine.
+var forceEventEngine atomic.Bool
+
+// ForceEventEngine makes every subsequent Run take the event-engine path
+// even for configurations the direct-execution path could serve (v=false
+// restores automatic selection). Both paths produce bit-identical results;
+// this seam exists for the direct-vs-engine differential tests and
+// benchmarks, and like the other Force* overrides it disables
+// fingerprint-keyed caching so a forced run can never be answered from (or
+// poison) a cache entry produced by the other path.
+func ForceEventEngine(v bool) { forceEventEngine.Store(v) }
+
+// DirectPathEligible reports whether Run would serve this configuration
+// via the direct-execution path (ignoring the Force* overrides, which are
+// test seams, not configuration). The rule is deliberately conservative —
+// see directEligible for the reasoning per knob.
+func (c Config) DirectPathEligible() bool {
+	canon := c.withDefaults()
+	if canon.validate() != nil {
+		return false
+	}
+	return canon.directEligible()
+}
+
+// directEligible is the direct-path admission rule, evaluated on a
+// defaulted config. The path is sound exactly when every job's execution
+// is a pure function of (job, arrival, oracle tables):
+//
+//   - WorkConserving couples decisions to pool occupancy (early starts on
+//     freed reserved units), so starts stop being pure — fall back.
+//   - SpotMaxLen > 0 routes jobs through the eviction process and
+//     multi-interval spot schedules — fall back.
+//   - Plan-capable policies (WaitAwhile, WaitAwhileEst, Ecovisor) execute
+//     suspend-resume schedules the sweep replay does not model — only the
+//     start-based policies known to return pure start decisions may ride.
+//     Unknown policy implementations fall back unvetted.
+//   - A non-perfect CIS is an opaque implementation whose Forecast may be
+//     stateful or time-dependent; only the immutable PerfectService has
+//     the purity guarantee the parallel decide phase needs.
+//
+// Every other knob (Reserved level, queues, pricing, power, horizon,
+// retention) is replicated exactly by the sweep replay.
+func (c Config) directEligible() bool {
+	if c.WorkConserving || c.SpotMaxLen > 0 {
+		return false
+	}
+	if _, ok := c.CIS.(*carbon.PerfectService); !ok {
+		return false
+	}
+	switch c.Policy.(type) {
+	case policy.NoWait, policy.AllWait, policy.LowestSlot, policy.LowestWindow, policy.CarbonTime:
+		return true
+	default:
+		return false
+	}
+}
+
 // QueueSpec configures one job-length queue: the inclusive length bound
 // that routes jobs into it and the maximum waiting time W the scheduler
 // guarantees for it.

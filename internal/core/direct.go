@@ -1,0 +1,299 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"github.com/carbonsched/gaia/internal/cloud"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/par"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// The direct-execution run path.
+//
+// In any configuration admitted by Config.directEligible the scheduler
+// never feeds information back into decisions: policies see only
+// (job, arrival, oracle tables), jobs run uninterrupted from their chosen
+// start, and the reserved-vs-on-demand split is a pure replay of pool
+// occupancy over the start/finish endpoints. That lets Run skip the event
+// engine entirely:
+//
+//	phase 1  fan every decision across cores (par.Shards), each shard
+//	         writing job-ID-indexed columns — embarrassingly parallel;
+//	phase 2  sort the start and finish endpoints and replay a sequential
+//	         two-pointer sweep over them, reproducing the engine's pool
+//	         arithmetic and folding the order-sensitive float totals in
+//	         the exact finish order the engine would produce;
+//	phase 3  fan the remaining order-free accounting (usage bins, cost
+//	         column, retained records) back across cores.
+//
+// Bit-identity with the event engine rests on its fire-order guarantees
+// (DESIGN.md §15): with every job length >= 1 minute, starts fire in
+// (time, jobID) order, finishes fire in (time, startRank) order, and at
+// any instant all finishes precede all starts. The sweep processes
+// endpoints in exactly that merged order, and every float the engine
+// computes is either stored per job (order-free columns) or folded here
+// in replayed finish order, so results — aggregates, fingerprints and
+// retained records alike — are byte-identical.
+
+// errDirectFallback signals that a nominally eligible run must be
+// re-executed on the event engine (a start-based policy dynamically
+// returned a suspend-resume plan, which the sweep replay does not model).
+var errDirectFallback = errors.New("core: direct path fallback")
+
+// directRuns counts completed direct-path executions; tests use the delta
+// to assert which configurations ride the fast path.
+var directRuns atomic.Int64
+
+// directShardMin is the minimum decide-phase shard size. Figure sweeps
+// already run one cell per core; keeping small cells single-shard avoids
+// nested-parallelism thrash while million-job cells still fan out fully.
+const directShardMin = 8192
+
+// directWorkersOverride pins the fan-out width (test seam: differential
+// tests force multi-shard execution on any machine; 0 = automatic).
+var directWorkersOverride atomic.Int32
+
+// directWorkers picks the decide fan-out width for an n-job trace.
+func directWorkers(n int) int {
+	if v := directWorkersOverride.Load(); v > 0 {
+		return int(v)
+	}
+	w := n / directShardMin
+	if w < 1 {
+		w = 1
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	return w
+}
+
+// runDirect executes a direct-eligible configuration. Errors other than
+// errDirectFallback are in their final API form.
+func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics.Result, error) {
+	n := len(trace.Jobs)
+	bounds := cfg.queueBounds()
+	acc := metrics.NewAccumulator(n, cfg.Horizon)
+	carbonOf := func(iv simtime.Interval, cpus int) float64 {
+		return cfg.Power.Carbon(cfg.Carbon.Integral(iv), cpus)
+	}
+
+	// Phase 1: decide every job in parallel. Shards cover disjoint job-ID
+	// ranges, so the column writes never contend; the oracle tables behind
+	// the fast paths are immutable and shared, while each worker gets its
+	// own policy.Context (scratch buffers are not goroutine-safe). The
+	// Queues map is read-only after construction and shared to avoid
+	// per-worker O(n) mean-length scans.
+	base := cfg.policyContext(trace)
+	starts := make([]simtime.Time, n)
+	done := ctx.Done()
+	shards := par.Shards(directWorkers(n), n)
+	if err := par.ForEach(len(shards), shards, func(_ int, sh par.Range) error {
+		pctx := &policy.Context{CIS: cfg.CIS, Queues: base.Queues}
+		pctx.EnableFastPaths()
+		for i := sh.Lo; i < sh.Hi; i++ {
+			if done != nil && (i-sh.Lo)%interruptStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: run canceled: %w", err)
+				}
+			}
+			job := trace.Jobs[i]
+			job.Queue = workload.ClassifyLength(job.Length, bounds)
+			now := job.Arrival
+			baseline := carbonOf(simtime.Interval{Start: now, End: now.Add(job.Length)}, job.CPUs)
+			d := cfg.Policy.Decide(job, now, pctx)
+			if err := d.Validate(job, now); err != nil {
+				return fmt.Errorf("core: run failed: policy %s: %v", cfg.Policy.Name(), err)
+			}
+			if d.IsPlan() {
+				return errDirectFallback
+			}
+			iv := simtime.Interval{Start: d.Start, End: d.Start.Add(job.Length)}
+			starts[i] = d.Start
+			// Waiting is finish - arrival - length, which the integer time
+			// model reduces to start - arrival exactly.
+			acc.PutJob(i, d.Start.Sub(job.Arrival), job.Length,
+				carbonOf(iv, job.CPUs), baseline, job.Queue)
+		}
+		return nil
+	}); err != nil {
+		if errors.Is(err, errDirectFallback) {
+			return nil, errDirectFallback
+		}
+		return nil, err
+	}
+
+	// Phase 2: sequential sweep. startOrd lists job IDs by (start, ID) —
+	// the engine's start fire order; finOrd lists start ranks by
+	// (finish, rank) — its finish fire order. The two-pointer merge below
+	// processes, at each instant, all finishes before any start, exactly
+	// as the engine's priority ordering does, replaying the reserved
+	// pool's acquire/release arithmetic and folding the CPU·hour totals.
+	startOrd := timeOrder(starts)
+	stR := make([]simtime.Time, n)
+	enR := make([]simtime.Time, n)
+	cpuR := make([]int32, n)
+	for r, id := range startOrd {
+		j := &trace.Jobs[id]
+		stR[r] = starts[id]
+		enR[r] = starts[id].Add(j.Length)
+		cpuR[r] = int32(j.CPUs)
+	}
+	finOrd := timeOrder(enR)
+	if n > 0 {
+		acc.GrowUsage(enR[finOrd[n-1]])
+	}
+	reservedBy := make([]int32, n) // indexed by job ID
+	idle := cfg.Reserved
+	si := 0
+	for fi := 0; fi < n; fi++ {
+		if done != nil && fi%interruptStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run canceled: %w", err)
+			}
+		}
+		r := int(finOrd[fi])
+		for si < n && stR[si] < enR[r] {
+			res := int(cpuR[si])
+			if res > idle {
+				res = idle
+			}
+			idle -= res
+			reservedBy[startOrd[si]] = int32(res)
+			si++
+		}
+		res := int(reservedBy[startOrd[r]])
+		idle += res
+		hours := simtime.Interval{Start: stR[r], End: enR[r]}.Len().Hours()
+		var h [3]float64
+		h[cloud.Reserved] = float64(res) * hours
+		h[cloud.OnDemand] = float64(int(cpuR[r])-res) * hours
+		h[cloud.Spot] = float64(0) * hours
+		acc.AddCPUHours(h)
+	}
+
+	// Phase 3: order-free accounting back in parallel — usage bins commute
+	// under integer addition (atomic adds into the pre-grown bins), the
+	// cost column and retained records are ID-indexed.
+	var results []metrics.JobResult
+	if cfg.RetainJobs {
+		results = make([]metrics.JobResult, n)
+	}
+	odRate, spotRate := cfg.Pricing.HourlyRate(cloud.OnDemand), cfg.Pricing.HourlyRate(cloud.Spot)
+	// With a single shard the pass is sequential, so the cheaper
+	// non-atomic binning applies; sharded passes need the atomic variant
+	// (identical arithmetic — integer adds commute exactly).
+	addUsage := acc.AddUsageAtomic
+	if len(shards) <= 1 {
+		addUsage = acc.AddUsage
+	}
+	if err := par.ForEach(len(shards), shards, func(_ int, sh par.Range) error {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			if done != nil && (i-sh.Lo)%interruptStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("core: run canceled: %w", err)
+				}
+			}
+			job := &trace.Jobs[i]
+			res := int(reservedBy[i])
+			od := job.CPUs - res
+			iv := simtime.Interval{Start: starts[i], End: starts[i].Add(job.Length)}
+			hours := iv.Len().Hours()
+			cost := (float64(od)*odRate + float64(0)*spotRate) * hours
+			acc.PutCost(i, cost)
+			addUsage(iv, res, od, 0)
+			if results != nil {
+				var h [3]float64
+				h[cloud.Reserved] = float64(res) * hours
+				h[cloud.OnDemand] = float64(od) * hours
+				h[cloud.Spot] = float64(0) * hours
+				results[i] = metrics.JobResult{
+					JobID:          i,
+					Queue:          acc.Queue(i),
+					User:           job.User,
+					CPUs:           job.CPUs,
+					Length:         job.Length,
+					Arrival:        job.Arrival,
+					Start:          iv.Start,
+					Finish:         iv.End,
+					Waiting:        iv.End.Sub(job.Arrival) - job.Length,
+					Carbon:         carbonOf(iv, job.CPUs),
+					BaselineCarbon: carbonOf(simtime.Interval{Start: job.Arrival, End: job.Arrival.Add(job.Length)}, job.CPUs),
+					UsageCost:      cost,
+					CPUHours:       h,
+					Segments: []metrics.Segment{{
+						Interval: iv, Reserved: res, OnDemand: od,
+					}},
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	directRuns.Add(1)
+	res := &metrics.Result{
+		Label:    cfg.Label,
+		Region:   cfg.Carbon.Region(),
+		Workload: trace.Name,
+		Reserved: cfg.Reserved,
+		Horizon:  cfg.Horizon,
+		Pricing:  cfg.Pricing,
+		Jobs:     results,
+	}
+	res.AttachAccumulator(acc)
+	return res, nil
+}
+
+// timeOrder returns 0..len(keys)-1 stably sorted ascending by key: a
+// counting sort when the key range is comparable to n (simulation
+// endpoints cluster into at most a horizon's worth of minutes), a stdlib
+// stable sort otherwise. Both are stable, so ties keep input order —
+// exactly the (time, index) lexicographic order the sweep needs.
+func timeOrder(keys []simtime.Time) []int32 {
+	n := len(keys)
+	ord := make([]int32, n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	if n < 2 {
+		return ord
+	}
+	lo, hi := keys[0], keys[0]
+	for _, k := range keys[1:] {
+		if k < lo {
+			lo = k
+		} else if k > hi {
+			hi = k
+		}
+	}
+	span := int64(hi-lo) + 1
+	if span <= int64(8*n) || span <= 1<<16 {
+		cnt := make([]int32, span+1)
+		for _, k := range keys {
+			cnt[int64(k-lo)+1]++
+		}
+		for b := 1; b < len(cnt); b++ {
+			cnt[b] += cnt[b-1]
+		}
+		for i, k := range keys {
+			b := int64(k - lo)
+			ord[cnt[b]] = int32(i)
+			cnt[b]++
+		}
+		return ord
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return keys[ord[a]] < keys[ord[b]]
+	})
+	return ord
+}

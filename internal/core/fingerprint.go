@@ -52,9 +52,10 @@ func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
 	if canon.RetainJobs {
 		return fp, false
 	}
-	if forceHeapEngine.Load() {
-		// Heap-forced differential runs must actually simulate: answering
-		// from the cache would silently compare the wheel against itself.
+	if forceHeapEngine.Load() || forceEventEngine.Load() {
+		// Forced differential runs (heap queue, or event engine instead of
+		// the direct path) must actually simulate: answering from the cache
+		// would silently compare a mechanism against itself.
 		return fp, false
 	}
 	ptag, pparam, ok := policyIdentity(canon.Policy)

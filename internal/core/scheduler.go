@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/carbonsched/gaia/internal/cloud"
@@ -60,6 +61,19 @@ func RunContext(ctx context.Context, cfg Config, jobs *workload.Trace) (res *met
 	}()
 
 	trace := normalizedTrace(jobs)
+
+	// Decision-pure configurations skip the event engine entirely: the
+	// direct path decides every job in parallel and replays accounting
+	// over sorted endpoints, bit-identical to the engine (direct.go). The
+	// Force* seams pin a run to a specific mechanism for differential
+	// tests; a dynamic fallback (errDirectFallback) re-runs on the engine.
+	if cfg.directEligible() && !forceEventEngine.Load() && !forceHeapEngine.Load() {
+		res, err := runDirect(ctx, cfg, trace)
+		if !errors.Is(err, errDirectFallback) {
+			return res, err
+		}
+	}
+
 	bounds := cfg.queueBounds()
 
 	pool, err := cloud.NewReservedPool(cfg.Reserved)
@@ -82,6 +96,16 @@ func RunContext(ctx context.Context, cfg Config, jobs *workload.Trace) (res *met
 		// A normalized trace numbers jobs 0..n-1, so each job's record
 		// lives at results[job.ID]: no append growth, no final sort.
 		s.results = make([]metrics.JobResult, len(trace.Jobs))
+	}
+	// Pre-size the jobState pool: its high-water mark is the peak
+	// in-flight job count, which the paper's traces keep in the hundreds,
+	// so a capped hint removes steady-state append growth without
+	// reserving much on huge traces (the slice still grows on demand).
+	if hint := len(trace.Jobs); hint > 0 {
+		if hint > 1024 {
+			hint = 1024
+		}
+		s.free = make([]*jobState, 0, hint)
 	}
 	// The scheduler's event loop is allocation-free in steady state: the
 	// normalized trace's arrivals feed straight from the trace slice (no
@@ -297,16 +321,10 @@ func (s *scheduler) startJob(js *jobState) {
 	s.engine.ScheduleAction(iv.End, sim.PriorityFinish, js)
 }
 
-// normalizePlan delegates to policy.NormalizePlan (shared with the
-// prototype runtime).
-func normalizePlan(plan []simtime.Interval, length simtime.Duration) []simtime.Interval {
-	return policy.NormalizePlan(plan, length)
-}
-
 // schedulePlan executes a suspend-resume plan: each interval independently
 // claims reserved-first capacity at its start and releases it at its end.
 func (s *scheduler) schedulePlan(js *jobState, plan []simtime.Interval) {
-	plan = normalizePlan(plan, js.job.Length)
+	plan = policy.NormalizePlan(plan, js.job.Length)
 	rec := js.rec
 	rec.Start = plan[0].Start
 	last := plan[len(plan)-1].End
@@ -343,7 +361,7 @@ func (s *scheduler) scheduleSpot(js *jobState) {
 	if !d.IsPlan() {
 		plan = []simtime.Interval{{Start: d.Start, End: d.Start.Add(job.Length)}}
 	} else {
-		plan = normalizePlan(plan, job.Length)
+		plan = policy.NormalizePlan(plan, job.Length)
 	}
 
 	if s.cfg.CheckpointInterval > 0 && len(plan) == 1 {

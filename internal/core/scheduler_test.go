@@ -393,22 +393,22 @@ func TestDeterministicRuns(t *testing.T) {
 func TestNormalizePlan(t *testing.T) {
 	plan := []simtime.Interval{{Start: 60, End: 120}, {Start: 180, End: 240}}
 	// Truncation: 90 min job uses all of window 1 and half of window 2.
-	got := normalizePlan(plan, 90*simtime.Minute)
+	got := policy.NormalizePlan(plan, 90*simtime.Minute)
 	if len(got) != 2 || got[1] != (simtime.Interval{Start: 180, End: 210}) {
 		t.Errorf("truncated plan = %v", got)
 	}
 	// Exact: unchanged.
-	got = normalizePlan(plan, 2*simtime.Hour)
+	got = policy.NormalizePlan(plan, 2*simtime.Hour)
 	if len(got) != 2 || got[0] != plan[0] || got[1] != plan[1] {
 		t.Errorf("exact plan = %v", got)
 	}
 	// Extension: a 3h job runs 1h past the final window.
-	got = normalizePlan(plan, 3*simtime.Hour)
+	got = policy.NormalizePlan(plan, 3*simtime.Hour)
 	if len(got) != 2 || got[1] != (simtime.Interval{Start: 180, End: 300}) {
 		t.Errorf("extended plan = %v", got)
 	}
 	// Sub-window job: only the first window, truncated.
-	got = normalizePlan(plan, 10*simtime.Minute)
+	got = policy.NormalizePlan(plan, 10*simtime.Minute)
 	if len(got) != 1 || got[0] != (simtime.Interval{Start: 60, End: 70}) {
 		t.Errorf("tiny plan = %v", got)
 	}

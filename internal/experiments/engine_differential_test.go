@@ -16,6 +16,12 @@ func TestFiguresIdenticalAcrossEventQueues(t *testing.T) {
 	if testing.Short() {
 		t.Skip("renders the full quick-scale figure suite twice")
 	}
+	// Force the event engine on for both passes so this stays a
+	// wheel-vs-heap comparison; without it the first pass would ride the
+	// direct-execution path and never touch the wheel at all (the direct
+	// differential lives in runpath_differential_test.go).
+	core.ForceEventEngine(true)
+	defer core.ForceEventEngine(false)
 	defer core.ForceHeapEngine(false)
 	for _, e := range All() {
 		t.Run(e.ID, func(t *testing.T) {

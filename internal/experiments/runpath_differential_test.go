@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/core"
+)
+
+// TestFiguresIdenticalAcrossRunPaths pins the direct-execution run path
+// against the figure suite: every registered experiment rendered with the
+// default path selection (direct where eligible, event engine elsewhere)
+// must be byte-identical to the same experiment with the event engine
+// forced for everything. Together with the core package's fuzz
+// differential this is the contract that lets Run silently route eligible
+// cells around the engine — no figure can tell the run paths apart.
+func TestFiguresIdenticalAcrossRunPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick-scale figure suite twice")
+	}
+	defer core.ForceEventEngine(false)
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			core.ForceEventEngine(false)
+			out, err := e.Run(Quick)
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			direct := out.String()
+
+			core.ForceEventEngine(true)
+			out, err = e.Run(Quick)
+			core.ForceEventEngine(false)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			if engine := out.String(); engine != direct {
+				t.Errorf("figure differs between run paths:\n--- direct ---\n%s\n--- engine ---\n%s",
+					direct, engine)
+			}
+		})
+	}
+}

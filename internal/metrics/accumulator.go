@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"sync/atomic"
+
 	"github.com/carbonsched/gaia/internal/cloud"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/workload"
@@ -83,6 +85,98 @@ func (a *Accumulator) AddJob(rec *JobResult) {
 	a.wastedCPUHours += rec.WastedCPUHours
 	a.wastedCarbon += rec.WastedCarbon
 	a.wastedC += rec.WastedCost
+}
+
+// The sharded-fill API below decomposes AddJob for producers that compute
+// per-job metrics out of finish order (core's direct-execution run path):
+// PutJob writes the order-free ID-indexed columns, AddCPUHours folds the
+// order-sensitive float totals, and AddUsageAtomic bins usage from
+// concurrent shards. Splitting the fold out is what makes the
+// decomposition exact: every float64 the accumulator ever sums across jobs
+// is either stored per job (columns — summation order fixed at query time)
+// or folded here by the caller in the engine's finish order, so a sharded
+// fill is bit-identical to a sequential AddJob stream. The remaining
+// totals (evictions, wasted work) are only ever incremented by zero in the
+// configurations that shard (no spot, no evictions), so skipping them
+// changes nothing.
+
+// PutJob writes job i's order-free columns. Concurrent callers are safe
+// iff they cover disjoint job IDs; each ID must be written exactly once.
+func (a *Accumulator) PutJob(i int, waiting, length simtime.Duration, carbon, baseline float64, q workload.Queue) {
+	a.waitings[i] = waiting
+	a.lengths[i] = length
+	a.carbons[i] = carbon
+	a.baselines[i] = baseline
+	a.queues[i] = uint8(q)
+}
+
+// PutCost writes job i's usage-cost column under the same disjoint-ID
+// contract as PutJob.
+func (a *Accumulator) PutCost(i int, cost float64) { a.costs[i] = cost }
+
+// AddCPUHours folds one job's per-option CPU·hours into the running
+// totals. Float addition is order-sensitive, so callers must invoke this
+// sequentially in the exact finish order the event engine would produce.
+func (a *Accumulator) AddCPUHours(h [3]float64) {
+	for o := range a.cpuHours {
+		a.cpuHours[o] += h[o]
+	}
+}
+
+// GrowUsage extends the usage bins to cover an execution ending at end,
+// replicating AddUsage's on-demand growth rule so a pre-grown accumulator
+// is indistinguishable from one grown incrementally to the same maximum.
+// Callers using AddUsageAtomic must pre-grow with the latest end they will
+// bin — the atomic path cannot resize concurrently-shared slices.
+func (a *Accumulator) GrowUsage(end simtime.Time) {
+	e := int64(end)
+	if e <= 0 {
+		return
+	}
+	lastHour := int((e - 1) / 60)
+	if need := lastHour + 1; need > len(a.usage[0]) {
+		for o := range a.usage {
+			a.usage[o] = append(a.usage[o], make([]int64, need-len(a.usage[o]))...)
+		}
+	}
+}
+
+// AddUsageAtomic is AddUsage for concurrent shards: identical binning
+// arithmetic, but bin updates go through atomic adds. Integer addition
+// commutes exactly, so any interleaving yields the same bins as the
+// sequential calls. The bins must already cover the interval (GrowUsage);
+// an out-of-range interval panics rather than silently dropping usage.
+func (a *Accumulator) AddUsageAtomic(iv simtime.Interval, reserved, onDemand, spot int) {
+	s, e := int64(iv.Start), int64(iv.End)
+	if s < 0 {
+		s = 0
+	}
+	if s >= e {
+		return
+	}
+	lastHour := int((e - 1) / 60)
+	if lastHour >= len(a.usage[0]) {
+		panic("metrics: AddUsageAtomic past GrowUsage horizon")
+	}
+	var byOption [3]int
+	byOption[cloud.Reserved] = reserved
+	byOption[cloud.OnDemand] = onDemand
+	byOption[cloud.Spot] = spot
+	for o, units := range byOption {
+		if units == 0 {
+			continue
+		}
+		for h := int(s / 60); h <= lastHour; h++ {
+			lo, hi := int64(h)*60, int64(h+1)*60
+			if lo < s {
+				lo = s
+			}
+			if hi > e {
+				hi = e
+			}
+			atomic.AddInt64(&a.usage[o][h], int64(units)*(hi-lo))
+		}
+	}
 }
 
 // AddUsage bins one execution interval's allocation per purchase option —

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// TestShardedFillMatchesAddJob pins the sharded-fill decomposition: a
+// concurrent PutJob/PutCost/AddUsageAtomic fill plus a sequential
+// AddCPUHours fold must be byte-identical to the classic AddJob+AddUsage
+// stream over the same jobs in the same finish order.
+func TestShardedFillMatchesAddJob(t *testing.T) {
+	const n = 1000
+	horizon := 24 * simtime.Hour
+	rnd := rand.New(rand.NewSource(7))
+	recs := make([]JobResult, n)
+	for i := range recs {
+		start := simtime.Time(rnd.Int63n(int64(horizon)))
+		length := simtime.Duration(1 + rnd.Int63n(int64(10*simtime.Hour)))
+		cpus := 1 + rnd.Intn(8)
+		res := rnd.Intn(cpus + 1)
+		hours := simtime.Interval{Start: start, End: start.Add(length)}.Len().Hours()
+		recs[i] = JobResult{
+			JobID:          i,
+			Queue:          workload.Queue(rnd.Intn(2)),
+			CPUs:           cpus,
+			Length:         length,
+			Arrival:        start - simtime.Time(rnd.Int63n(120)),
+			Start:          start,
+			Finish:         start.Add(length),
+			Waiting:        simtime.Duration(rnd.Int63n(120)),
+			Carbon:         rnd.Float64() * 10,
+			BaselineCarbon: rnd.Float64() * 10,
+			UsageCost:      rnd.Float64() * 5,
+			CPUHours: [3]float64{
+				float64(res) * hours,
+				float64(cpus-res) * hours,
+				0,
+			},
+			Segments: []Segment{{
+				Interval: simtime.Interval{Start: start, End: start.Add(length)},
+				Reserved: res,
+				OnDemand: cpus - res,
+			}},
+		}
+	}
+	// The engine folds jobs in finish order, not ID order.
+	finishOrder := rnd.Perm(n)
+
+	seq := NewAccumulator(n, horizon)
+	for _, i := range finishOrder {
+		rec := &recs[i]
+		seq.AddJob(rec)
+		seg := rec.Segments[0]
+		seq.AddUsage(seg.Interval, seg.Reserved, seg.OnDemand, 0)
+	}
+
+	shard := NewAccumulator(n, horizon)
+	// Pre-grow to the maximum end the atomic fill will bin, as the direct
+	// path does before fanning out.
+	maxEnd := simtime.Time(0)
+	for i := range recs {
+		if recs[i].Finish > maxEnd {
+			maxEnd = recs[i].Finish
+		}
+	}
+	shard.GrowUsage(maxEnd)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				rec := &recs[i]
+				shard.PutJob(i, rec.Waiting, rec.Length, rec.Carbon, rec.BaselineCarbon, rec.Queue)
+				shard.PutCost(i, rec.UsageCost)
+				seg := rec.Segments[0]
+				shard.AddUsageAtomic(seg.Interval, seg.Reserved, seg.OnDemand, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, i := range finishOrder {
+		shard.AddCPUHours(recs[i].CPUHours)
+	}
+
+	sb, hb := EncodeAccumulator(seq), EncodeAccumulator(shard)
+	if !bytes.Equal(sb, hb) {
+		t.Error("sharded fill does not match sequential AddJob stream byte for byte")
+	}
+}
+
+// TestAddUsageAtomicPastHorizonPanics pins the contract that the atomic
+// binning path refuses to bin past the pre-grown bins instead of silently
+// dropping usage (it cannot resize concurrently-shared slices).
+func TestAddUsageAtomicPastHorizonPanics(t *testing.T) {
+	a := NewAccumulator(1, simtime.Hour)
+	a.GrowUsage(simtime.Time(2 * simtime.Hour))
+	a.AddUsageAtomic(simtime.Interval{Start: 0, End: simtime.Time(2 * simtime.Hour)}, 1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddUsageAtomic past the grown horizon did not panic")
+		}
+	}()
+	a.AddUsageAtomic(simtime.Interval{
+		Start: simtime.Time(2 * simtime.Hour),
+		End:   simtime.Time(3 * simtime.Hour),
+	}, 1, 0, 0)
+}
+
+// TestGrowUsageMatchesOnDemandGrowth pins GrowUsage's growth rule against
+// AddUsage's incremental rule: pre-growing to an end and binning nothing
+// must leave the same bin count as binning an interval reaching that end.
+func TestGrowUsageMatchesOnDemandGrowth(t *testing.T) {
+	for _, end := range []simtime.Time{1, 59, 60, 61, 600, 3601} {
+		grown := NewAccumulator(0, 0)
+		grown.GrowUsage(end)
+		incr := NewAccumulator(0, 0)
+		incr.AddUsage(simtime.Interval{Start: 0, End: end}, 1, 0, 0)
+		// Bin counts must match; contents differ (incr actually binned).
+		for o := range grown.usage {
+			if g, i := len(grown.usage[o]), len(incr.usage[o]); g != i {
+				t.Errorf("end %d option %d: GrowUsage made %d bins, AddUsage %d", end, o, g, i)
+			}
+		}
+	}
+}

@@ -58,6 +58,34 @@ func ForEach[T any](workers int, items []T, fn func(i int, item T) error) error 
 	return err
 }
 
+// Range is a half-open index interval [Lo, Hi) produced by Shards.
+type Range struct {
+	Lo, Hi int
+}
+
+// Shards partitions the index space [0, n) into at most Workers(workers)
+// contiguous near-equal ranges, one per worker. The split is a pure
+// function of (workers, n) — shard boundaries never depend on runtime
+// state — so a parallel pass writing disjoint output columns per shard is
+// deterministic at a fixed worker count, and callers that want determinism
+// across worker counts need only make the per-element work independent of
+// its shard (as Map does). Every returned range is non-empty; n <= 0
+// yields nil.
+func Shards(workers, n int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]Range, workers)
+	for i := 0; i < workers; i++ {
+		out[i] = Range{Lo: i * n / workers, Hi: (i + 1) * n / workers}
+	}
+	return out
+}
+
 // MapN is index-based Map for loops without a materialized slice: it runs
 // fn(0..n-1) on the pool and returns the n results in index order.
 func MapN[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {

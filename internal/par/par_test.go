@@ -198,3 +198,36 @@ func TestMapDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestShards checks the contiguous-cover contract the direct run path
+// builds on: every index appears exactly once, shards are non-empty and
+// ascending, and the split is a pure function of (workers, n).
+func TestShards(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 1}, {1, 100}, {3, 100}, {7, 100}, {100, 100}, {8, 3}, {4, 4},
+	} {
+		shards := Shards(tc.workers, tc.n)
+		next := 0
+		for _, sh := range shards {
+			if sh.Lo != next {
+				t.Fatalf("Shards(%d, %d): gap or overlap at %d (got Lo=%d)", tc.workers, tc.n, next, sh.Lo)
+			}
+			if sh.Hi <= sh.Lo {
+				t.Fatalf("Shards(%d, %d): empty shard %+v", tc.workers, tc.n, sh)
+			}
+			next = sh.Hi
+		}
+		if next != tc.n {
+			t.Fatalf("Shards(%d, %d): covers [0, %d), want [0, %d)", tc.workers, tc.n, next, tc.n)
+		}
+		if want := Shards(tc.workers, tc.n); len(want) != len(shards) {
+			t.Fatalf("Shards(%d, %d) not deterministic", tc.workers, tc.n)
+		}
+	}
+	if got := Shards(4, 0); got != nil {
+		t.Errorf("Shards(4, 0) = %v, want nil", got)
+	}
+	if got := Shards(0, 10); len(got) == 0 {
+		t.Errorf("Shards(0, 10) = %v, want a usable cover", got)
+	}
+}
