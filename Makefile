@@ -42,10 +42,10 @@ bench:
 # regressions against BENCH_BASELINE, the previous PR's snapshot (only
 # benchmarks present in both are compared, so new benchmarks simply
 # start their history in the new snapshot).
-BENCH_JSON ?= BENCH_PR8.json
-BENCH_LABEL ?= pr8
-BENCH_BASELINE ?= BENCH_PR7.json
-BENCH_PATTERN = SchedulerThroughput|MillionJobRun|DirectRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|AdviseBatch|SimulateColdVsWarm|EventCore|Chatty
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_LABEL ?= pr9
+BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_PATTERN = SchedulerThroughput|MillionJobRun|DirectRun|PolicyDecide|WaitAwhilePlan|CarbonIntegral|SuiteColdVsWarm|Fingerprint|AdviseThroughput|AdviseBatch|SimulateColdVsWarm|EventCore|Chatty|ReservedSweepPlanReuse
 # -count=3: gaia-bench keeps each benchmark's fastest sample, which damps
 # scheduler noise on shared machines enough for the 15% gate to be stable.
 bench-json:
@@ -57,16 +57,18 @@ bench-check:
 		-benchmem . | $(GO) run ./cmd/gaia-bench -baseline $(BENCH_BASELINE)
 
 # Fast CI smoke of the run-path micro-benchmarks: a short -benchtime run
-# that exists to execute the wheel, heap and direct paths under bench
-# conditions (and catch gross regressions or panics), not to produce
-# stable numbers — those come from the committed BENCH_PR*.json
+# that exists to execute the wheel, heap, direct and plan-replay paths
+# under bench conditions (and catch gross regressions or panics), not to
+# produce stable numbers — those come from the committed BENCH_PR*.json
 # snapshots. The second command replays the run-path differentials under
 # the race detector at a fixed parallelism, so every bench-quick run also
-# re-proves the direct path bit-identical to the engine.
+# re-proves the direct path bit-identical to the engine and plan replays
+# bit-identical to full runs (cold-then-warm sweep with plan hits
+# asserted in TestReservedSweepSharesPlans).
 bench-quick:
-	$(GO) test -run='^$$' -bench='EventCore|Chatty|DirectRun' -benchtime=0.1s -benchmem .
-	$(GO) test -race -cpu 4 -run 'TestFiguresIdenticalAcrossRunPaths|TestDirectMatchesEngine|TestShardedFillMatchesAddJob' \
-		./internal/experiments ./internal/core ./internal/metrics
+	$(GO) test -run='^$$' -bench='EventCore|Chatty|DirectRun|ReservedSweepPlanReuse' -benchtime=0.1s -benchmem .
+	$(GO) test -race -cpu 4 -run 'TestFiguresIdenticalAcrossRunPaths|TestDirectMatchesEngine|TestShardedFillMatchesAddJob|TestReservedSweepSharesPlans|TestPlanReplayMatchesDirect|TestPlanTier' \
+		./internal/experiments ./internal/core ./internal/metrics ./internal/runcache
 
 # End-to-end fleet smoke test: gaia-load boots two gaia-serve replicas
 # joined into one cache tier, drives a short mixed load, and fails unless

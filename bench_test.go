@@ -7,6 +7,7 @@ package gaia
 // simulator performance. Use cmd/gaia-exp -full for paper-scale output.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -141,6 +142,80 @@ func BenchmarkSweepParallel(b *testing.B) {
 	if parPerOp > 0 {
 		b.ReportMetric(float64(seqTime)/parPerOp, "speedup")
 	}
+}
+
+// planSweepCells builds a 16-cell reserved-size sweep that is
+// direct-eligible (no work-conserving backfill), so every cell projects
+// onto one shared decision plan. Counterpart of sweepCells, which keeps
+// backfill on and therefore measures the engine path.
+func planSweepCells() ([]core.Config, *workload.Trace) {
+	tr := carbon.RegionSAAU.Generate(24*10, 1)
+	jobs := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(2)), 1000, simtime.Week)
+	cfgs := make([]core.Config, 16)
+	for i := range cfgs {
+		cfgs[i] = core.Config{
+			Policy:   policy.CarbonTime{},
+			Carbon:   tr,
+			Reserved: 10 * i,
+		}
+	}
+	return cfgs, jobs
+}
+
+// BenchmarkReservedSweepPlanReuse measures what the plan tier buys a
+// reserved-size sweep. The direct sub-benchmark is the cold sweep: every
+// cell runs the full decide + replay path. The plan sub-benchmark is the
+// warm sweep: the decision plan is computed once outside the timer and
+// every cell only replays it. The plan variant also reports the
+// warm-over-cold speedup from an in-benchmark cold pass.
+func BenchmarkReservedSweepPlanReuse(b *testing.B) {
+	cfgs, jobs := planSweepCells()
+	nJobs := float64(len(cfgs) * jobs.Len())
+	coldSweep := func() error {
+		for _, cfg := range cfgs {
+			if _, err := core.Run(cfg, jobs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := coldSweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed())/(float64(b.N)*nJobs), "ns/job")
+	})
+
+	b.Run("plan", func(b *testing.B) {
+		plan, err := core.DecidePlan(context.Background(), cfgs[0], jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldStart := time.Now()
+		if err := coldSweep(); err != nil {
+			b.Fatal(err)
+		}
+		coldTime := time.Since(coldStart)
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				if _, err := core.RunWithPlan(context.Background(), cfg, jobs, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		warmPerOp := float64(b.Elapsed()) / float64(b.N)
+		if warmPerOp > 0 {
+			b.ReportMetric(float64(coldTime)/warmPerOp, "speedup")
+		}
+		b.ReportMetric(warmPerOp/nJobs, "ns/job")
+	})
 }
 
 // runSuite renders every registered experiment once at quick scale.

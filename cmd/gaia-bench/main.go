@@ -53,10 +53,10 @@ type Benchmark struct {
 	// b.ReportMetric units such as "speedup" or "jobs/op").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Path records which simulation run path the benchmark exercised
-	// ("direct", "wheel/engine" or "heap/engine"), derived from the
-	// sub-benchmark name under -pathmix. Empty when the name does not
-	// declare a path (or -pathmix is off), so unrelated benchmarks stay
-	// unstamped.
+	// ("direct", "direct+plan", "wheel/engine" or "heap/engine"), derived
+	// from the sub-benchmark name under -pathmix. Empty when the name does
+	// not declare a path (or -pathmix is off), so unrelated benchmarks
+	// stay unstamped.
 	Path string `json:"path,omitempty"`
 }
 
@@ -134,15 +134,18 @@ func main() {
 
 // pathOf derives the simulation run path from a benchmark name's
 // sub-benchmark segments. The convention: a segment named "direct" marks
-// the direct-execution path; "engine" or "wheel" the timing-wheel event
-// engine; "heap" the reference heap queue (an engine variant by
-// definition). Names declaring no path return "" and stay unstamped —
-// most benchmarks measure something other than the run path.
+// the direct-execution path; "plan" the direct path replaying a cached
+// decision plan; "engine" or "wheel" the timing-wheel event engine;
+// "heap" the reference heap queue (an engine variant by definition).
+// Names declaring no path return "" and stay unstamped — most benchmarks
+// measure something other than the run path.
 func pathOf(name string) string {
 	for _, seg := range strings.Split(name, "/") {
 		switch seg {
 		case "direct":
 			return "direct"
+		case "plan":
+			return "direct+plan"
 		case "engine", "wheel":
 			return "wheel/engine"
 		case "heap":
@@ -218,6 +221,11 @@ func compare(current *Report, baselinePath string, tolerancePct float64, w io.Wr
 	if compared > 0 {
 		geomeanPct := 100 * (math.Exp(logRatioSum/float64(compared)) - 1)
 		fmt.Fprintf(w, "geomean ns/op delta: %+.1f%% across %d benchmarks\n", geomeanPct, compared)
+	} else {
+		// Nothing overlapped (every benchmark is new, or the baseline ran
+		// a disjoint pattern): say so instead of silently omitting the
+		// summary — and never divide by the zero count.
+		fmt.Fprintf(w, "geomean ns/op delta: n/a (no benchmarks in common with the baseline)\n")
 	}
 	if regressed {
 		fmt.Fprintf(w, "FAIL: ns/op regressions beyond +%.0f%%\n", tolerancePct)

@@ -133,15 +133,50 @@ func TestPathOf(t *testing.T) {
 		{"MillionJobRun/streaming/engine", "wheel/engine"},
 		{"DirectRun/direct", "direct"},
 		{"DirectRun/engine", "wheel/engine"},
+		{"ReservedSweepPlanReuse/plan", "direct+plan"},
+		{"ReservedSweepPlanReuse/direct", "direct"},
 		{"EventCoreMillionJobs/wheel", "wheel/engine"},
 		{"EventCoreMillionJobs/heap", "heap/engine"},
 		{"SchedulerThroughput", ""},
 		{"Chatty/direction", ""}, // substring of a segment must not match
+		{"Suite/planner", ""},    // likewise for the plan segment
 	}
 	for _, tc := range cases {
 		if got := pathOf(tc.name); got != tc.want {
 			t.Errorf("pathOf(%q) = %q, want %q", tc.name, got, tc.want)
 		}
+	}
+}
+
+// TestCompareDisjointBaseline pins the degenerate comparison: when no
+// benchmark overlaps the baseline (all new), every row is listed as new,
+// nothing gates, and the geomean line reports the empty overlap instead
+// of dividing by zero.
+func TestCompareDisjointBaseline(t *testing.T) {
+	baseline := `{"label":"old","benchmarks":[
+		{"name":"Retired","package":"example.com/mod","ns_per_op":2000}]}`
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	current, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	regressed, err := compare(current, path, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("disjoint baseline flagged a regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "(new, not in baseline)") {
+		t.Errorf("report lacks new-benchmark rows:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "geomean ns/op delta: n/a (no benchmarks in common with the baseline)") {
+		t.Errorf("report lacks the empty-overlap geomean line:\n%s", out.String())
 	}
 }
 

@@ -178,14 +178,19 @@ func printCacheStats() {
 	if total.Total() == 0 {
 		return
 	}
-	fmt.Println("cache: figure breakdown (cells: computed/hit/dedup/disk/bypass)")
+	fmt.Println("cache: figure breakdown (cells: computed/hit/dedup/disk/bypass/plan/plan-disk)")
 	for _, id := range ids {
 		s := byFigure[id]
-		fmt.Printf("cache:   %-14s %3d cells: %d/%d/%d/%d/%d\n",
-			id, s.Total(), s.Computed, s.Hits, s.Dedups, s.DiskHits, s.Bypassed)
+		fmt.Printf("cache:   %-14s %3d cells: %d/%d/%d/%d/%d/%d/%d\n",
+			id, s.Total(), s.Computed, s.Hits, s.Dedups, s.DiskHits, s.Bypassed,
+			s.PlanHits, s.PlanDiskHits)
 	}
 	fmt.Printf("cache: total %d cells — %d computed, %d hits, %d in-flight dedups, %d disk hits, %d bypassed; %d simulated cells avoided\n",
 		total.Total(), total.Computed, total.Hits, total.Dedups, total.DiskHits, total.Bypassed, total.Avoided())
+	if n := total.DecisionsAvoided(); n > 0 {
+		fmt.Printf("cache: plan tier served the decide phase of %d more cells (%d from memory, %d from disk) — replay only\n",
+			n, total.PlanHits, total.PlanDiskHits)
+	}
 }
 
 func runOne(e experiments.Experiment, scale experiments.Scale, outdir string) error {

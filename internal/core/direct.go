@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"github.com/carbonsched/gaia/internal/cloud"
@@ -26,13 +27,21 @@ import (
 // engine entirely:
 //
 //	phase 1  fan every decision across cores (par.Shards), each shard
-//	         writing job-ID-indexed columns — embarrassingly parallel;
+//	         writing a job-ID-indexed start column — embarrassingly
+//	         parallel (decideDirect);
 //	phase 2  sort the start and finish endpoints and replay a sequential
 //	         two-pointer sweep over them, reproducing the engine's pool
 //	         arithmetic and folding the order-sensitive float totals in
 //	         the exact finish order the engine would produce;
-//	phase 3  fan the remaining order-free accounting (usage bins, cost
-//	         column, retained records) back across cores.
+//	phase 3  fan the remaining order-free accounting (per-job columns,
+//	         usage bins, cost column, retained records) back across cores.
+//
+// Phase 1 is the decide phase; phases 2-3 together are the replay
+// (replayDirect). The split is the seam the decision-plan cache rides
+// (plan.go): decisions depend only on (policy, CIS, queue bounds and
+// waits, workload), so a sweep that varies accounting knobs — reserved
+// size, prices, the realized carbon trace — decides once and replays every
+// cell from the shared start column.
 //
 // Bit-identity with the event engine rests on its fire-order guarantees
 // (DESIGN.md §15): with every job length >= 1 minute, starts fire in
@@ -48,8 +57,9 @@ import (
 // returned a suspend-resume plan, which the sweep replay does not model).
 var errDirectFallback = errors.New("core: direct path fallback")
 
-// directRuns counts completed direct-path executions; tests use the delta
-// to assert which configurations ride the fast path.
+// directRuns counts completed direct-path executions (full runs and plan
+// replays alike); tests use the delta to assert which configurations ride
+// the fast path.
 var directRuns atomic.Int64
 
 // directShardMin is the minimum decide-phase shard size. Figure sweeps
@@ -76,22 +86,25 @@ func directWorkers(n int) int {
 	return w
 }
 
-// runDirect executes a direct-eligible configuration. Errors other than
-// errDirectFallback are in their final API form.
+// runDirect executes a direct-eligible configuration: decide, then replay.
+// Errors other than errDirectFallback are in their final API form.
 func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics.Result, error) {
+	starts, err := decideDirect(ctx, cfg, trace)
+	if err != nil {
+		return nil, err
+	}
+	return replayDirect(ctx, cfg, trace, starts, nil)
+}
+
+// decideDirect is phase 1: decide every job in parallel and return the
+// start column. Shards cover disjoint job-ID ranges, so the column writes
+// never contend; the oracle tables behind the fast paths are immutable and
+// shared, while each worker gets its own policy.Context (scratch buffers
+// are not goroutine-safe). The Queues map is read-only after construction
+// and shared to avoid per-worker O(n) mean-length scans.
+func decideDirect(ctx context.Context, cfg Config, trace *workload.Trace) ([]simtime.Time, error) {
 	n := len(trace.Jobs)
 	bounds := cfg.queueBounds()
-	acc := metrics.NewAccumulator(n, cfg.Horizon)
-	carbonOf := func(iv simtime.Interval, cpus int) float64 {
-		return cfg.Power.Carbon(cfg.Carbon.Integral(iv), cpus)
-	}
-
-	// Phase 1: decide every job in parallel. Shards cover disjoint job-ID
-	// ranges, so the column writes never contend; the oracle tables behind
-	// the fast paths are immutable and shared, while each worker gets its
-	// own policy.Context (scratch buffers are not goroutine-safe). The
-	// Queues map is read-only after construction and shared to avoid
-	// per-worker O(n) mean-length scans.
 	base := cfg.policyContext(trace)
 	starts := make([]simtime.Time, n)
 	done := ctx.Done()
@@ -108,7 +121,6 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 			job := trace.Jobs[i]
 			job.Queue = workload.ClassifyLength(job.Length, bounds)
 			now := job.Arrival
-			baseline := carbonOf(simtime.Interval{Start: now, End: now.Add(job.Length)}, job.CPUs)
 			d := cfg.Policy.Decide(job, now, pctx)
 			if err := d.Validate(job, now); err != nil {
 				return fmt.Errorf("core: run failed: policy %s: %v", cfg.Policy.Name(), err)
@@ -116,12 +128,7 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 			if d.IsPlan() {
 				return errDirectFallback
 			}
-			iv := simtime.Interval{Start: d.Start, End: d.Start.Add(job.Length)}
 			starts[i] = d.Start
-			// Waiting is finish - arrival - length, which the integer time
-			// model reduces to start - arrival exactly.
-			acc.PutJob(i, d.Start.Sub(job.Arrival), job.Length,
-				carbonOf(iv, job.CPUs), baseline, job.Queue)
 		}
 		return nil
 	}); err != nil {
@@ -130,6 +137,114 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 		}
 		return nil, err
 	}
+	return starts, nil
+}
+
+// directScratch is the per-replay scratch the sweep phase needs: the two
+// endpoint orderings, the rank-indexed start/finish/CPU columns, the
+// reserved-allocation column and the counting-sort buckets. Replayed cells
+// recycle it through directScratchPool so a warm sweep costs no per-cell
+// endpoint allocations.
+type directScratch struct {
+	startOrd, finOrd []int32
+	stR, enR         []simtime.Time
+	cpuR             []int32
+	reservedBy       []int32
+	cnt              []int32
+}
+
+var directScratchPool = sync.Pool{New: func() any { return new(directScratch) }}
+
+// directScratchMax caps the column size a scratch may have and still
+// return to the pool. Sweep cells — the replays the pool exists for —
+// run thousands of jobs; a million-job one-shot run would otherwise park
+// tens of MB of dead scratch in the pool, inflating the live heap and
+// skewing GC pacing for the rest of the process.
+const directScratchMax = 1 << 18
+
+// release returns the scratch to the pool, or drops an oversized one.
+func (s *directScratch) release() {
+	if cap(s.reservedBy) > directScratchMax {
+		return
+	}
+	directScratchPool.Put(s)
+}
+
+// grow resizes every column to n, reusing capacity from earlier replays.
+// Contents are overwritten before use (reservedBy explicitly below), so no
+// clearing is needed here.
+func (s *directScratch) grow(n int) {
+	grow32 := func(b []int32) []int32 {
+		if cap(b) < n {
+			return make([]int32, n)
+		}
+		return b[:n]
+	}
+	s.startOrd = grow32(s.startOrd)
+	s.finOrd = grow32(s.finOrd)
+	s.cpuR = grow32(s.cpuR)
+	if cap(s.stR) < n {
+		s.stR = make([]simtime.Time, n)
+		s.enR = make([]simtime.Time, n)
+	} else {
+		s.stR, s.enR = s.stR[:n], s.enR[:n]
+	}
+	s.growReserved(n)
+}
+
+// growReserved resizes only the reserved-allocation column — all a replay
+// needs when the endpoint orderings come memoized from a plan.
+func (s *directScratch) growReserved(n int) {
+	if cap(s.reservedBy) < n {
+		s.reservedBy = make([]int32, n)
+	} else {
+		s.reservedBy = s.reservedBy[:n]
+	}
+}
+
+// replayOrders is the sweep phase's endpoint geometry: job IDs in start
+// fire order, start ranks in finish fire order, and the rank-indexed
+// start/finish/CPU columns. It is a pure function of (starts, trace), so
+// every cell of a sweep replaying one plan shares identical orders; plans
+// memoize the value (trace-identity keyed) and replays after the first
+// skip both counting sorts. A memoized value is shared across concurrent
+// replays and must never be mutated.
+type replayOrders struct {
+	trace            *workload.Trace
+	startOrd, finOrd []int32
+	stR, enR         []simtime.Time
+	cpuR             []int32
+}
+
+// fill computes the orderings for (starts, o.trace) into o's columns,
+// which must already have length len(starts). cnt is a reusable
+// counting-sort bucket buffer.
+func (o *replayOrders) fill(cnt *[]int32, starts []simtime.Time) {
+	o.startOrd = timeOrderInto(o.startOrd, cnt, starts)
+	for r, id := range o.startOrd {
+		j := &o.trace.Jobs[id]
+		o.stR[r] = starts[id]
+		o.enR[r] = starts[id].Add(j.Length)
+		o.cpuR[r] = int32(j.CPUs)
+	}
+	o.finOrd = timeOrderInto(o.finOrd, cnt, o.enR)
+}
+
+// replayDirect is phases 2-3: given the decided start column (freshly
+// decided or replayed from a cached plan — the slice is treated as
+// immutable either way), sweep the endpoints sequentially and fan the
+// order-free accounting back out. The result is bit-identical to a full
+// runDirect whose decide phase produced the same starts. A non-nil plan
+// supplies (and on first use receives) the memoized endpoint orderings;
+// runDirect passes nil and sorts into pooled scratch.
+func replayDirect(ctx context.Context, cfg Config, trace *workload.Trace, starts []simtime.Time, plan *DecisionPlan) (*metrics.Result, error) {
+	n := len(trace.Jobs)
+	bounds := cfg.queueBounds()
+	acc := metrics.NewAccumulator(n, cfg.Horizon)
+	carbonOf := func(iv simtime.Interval, cpus int) float64 {
+		return cfg.Power.Carbon(cfg.Carbon.Integral(iv), cpus)
+	}
+	done := ctx.Done()
 
 	// Phase 2: sequential sweep. startOrd lists job IDs by (start, ID) —
 	// the engine's start fire order; finOrd lists start ranks by
@@ -137,21 +252,44 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 	// processes, at each instant, all finishes before any start, exactly
 	// as the engine's priority ordering does, replaying the reserved
 	// pool's acquire/release arithmetic and folding the CPU·hour totals.
-	startOrd := timeOrder(starts)
-	stR := make([]simtime.Time, n)
-	enR := make([]simtime.Time, n)
-	cpuR := make([]int32, n)
-	for r, id := range startOrd {
-		j := &trace.Jobs[id]
-		stR[r] = starts[id]
-		enR[r] = starts[id].Add(j.Length)
-		cpuR[r] = int32(j.CPUs)
+	sc := directScratchPool.Get().(*directScratch)
+	defer sc.release()
+	var ord *replayOrders
+	if plan != nil {
+		if m := plan.orders.Load(); m != nil && m.trace == trace {
+			ord = m // warm sweep cell: skip both endpoint sorts
+		}
 	}
-	finOrd := timeOrder(enR)
+	if ord == nil && plan != nil {
+		// First replay of this plan against this trace: compute into
+		// plan-owned columns and publish (racing replays may each compute;
+		// last store wins and all values are identical).
+		ord = &replayOrders{
+			trace:    trace,
+			startOrd: make([]int32, n), finOrd: make([]int32, n),
+			stR: make([]simtime.Time, n), enR: make([]simtime.Time, n),
+			cpuR: make([]int32, n),
+		}
+		ord.fill(&sc.cnt, starts)
+		plan.orders.Store(ord)
+	}
+	if ord == nil {
+		sc.grow(n)
+		ord = &replayOrders{
+			trace:    trace,
+			startOrd: sc.startOrd, finOrd: sc.finOrd,
+			stR: sc.stR, enR: sc.enR, cpuR: sc.cpuR,
+		}
+		ord.fill(&sc.cnt, starts)
+	} else {
+		sc.growReserved(n)
+	}
+	startOrd, finOrd := ord.startOrd, ord.finOrd
+	stR, enR, cpuR := ord.stR, ord.enR, ord.cpuR
 	if n > 0 {
 		acc.GrowUsage(enR[finOrd[n-1]])
 	}
-	reservedBy := make([]int32, n) // indexed by job ID
+	reservedBy := sc.reservedBy // indexed by job ID
 	idle := cfg.Reserved
 	si := 0
 	for fi := 0; fi < n; fi++ {
@@ -180,14 +318,25 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 		acc.AddCPUHours(h)
 	}
 
-	// Phase 3: order-free accounting back in parallel — usage bins commute
-	// under integer addition (atomic adds into the pre-grown bins), the
-	// cost column and retained records are ID-indexed.
+	// Phase 3: order-free accounting back in parallel — per-job columns,
+	// the cost column and retained records are ID-indexed, and usage bins
+	// commute under integer addition (atomic adds into the pre-grown
+	// bins). The per-job carbon and baseline integrals live here rather
+	// than in the decide phase because they are accounting (they read the
+	// realized carbon trace and power model), so a replayed cell computes
+	// them under its own knobs.
 	var results []metrics.JobResult
+	var segs []metrics.Segment
 	if cfg.RetainJobs {
 		results = make([]metrics.JobResult, n)
+		// Every direct-path job runs in one uninterrupted segment; carving
+		// the per-job slices from one slab instead of a million one-element
+		// allocations keeps retained runs off the GC's back (the records
+		// compare equal either way — the differentials check values).
+		segs = make([]metrics.Segment, n)
 	}
 	odRate, spotRate := cfg.Pricing.HourlyRate(cloud.OnDemand), cfg.Pricing.HourlyRate(cloud.Spot)
+	shards := par.Shards(directWorkers(n), n)
 	// With a single shard the pass is sequential, so the cheaper
 	// non-atomic binning applies; sharded passes need the atomic variant
 	// (identical arithmetic — integer adds commute exactly).
@@ -195,7 +344,7 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 	if len(shards) <= 1 {
 		addUsage = acc.AddUsage
 	}
-	if err := par.ForEach(len(shards), shards, func(_ int, sh par.Range) error {
+	account := func(sh par.Range) error {
 		for i := sh.Lo; i < sh.Hi; i++ {
 			if done != nil && (i-sh.Lo)%interruptStride == 0 {
 				if err := ctx.Err(); err != nil {
@@ -203,9 +352,15 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 				}
 			}
 			job := &trace.Jobs[i]
+			q := workload.ClassifyLength(job.Length, bounds)
+			iv := simtime.Interval{Start: starts[i], End: starts[i].Add(job.Length)}
+			carbon := carbonOf(iv, job.CPUs)
+			baseline := carbonOf(simtime.Interval{Start: job.Arrival, End: job.Arrival.Add(job.Length)}, job.CPUs)
+			// Waiting is finish - arrival - length, which the integer time
+			// model reduces to start - arrival exactly.
+			acc.PutJob(i, iv.Start.Sub(job.Arrival), job.Length, carbon, baseline, q)
 			res := int(reservedBy[i])
 			od := job.CPUs - res
-			iv := simtime.Interval{Start: starts[i], End: starts[i].Add(job.Length)}
 			hours := iv.Len().Hours()
 			cost := (float64(od)*odRate + float64(0)*spotRate) * hours
 			acc.PutCost(i, cost)
@@ -215,9 +370,10 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 				h[cloud.Reserved] = float64(res) * hours
 				h[cloud.OnDemand] = float64(od) * hours
 				h[cloud.Spot] = float64(0) * hours
+				segs[i] = metrics.Segment{Interval: iv, Reserved: res, OnDemand: od}
 				results[i] = metrics.JobResult{
 					JobID:          i,
-					Queue:          acc.Queue(i),
+					Queue:          q,
 					User:           job.User,
 					CPUs:           job.CPUs,
 					Length:         job.Length,
@@ -225,17 +381,24 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 					Start:          iv.Start,
 					Finish:         iv.End,
 					Waiting:        iv.End.Sub(job.Arrival) - job.Length,
-					Carbon:         carbonOf(iv, job.CPUs),
-					BaselineCarbon: carbonOf(simtime.Interval{Start: job.Arrival, End: job.Arrival.Add(job.Length)}, job.CPUs),
+					Carbon:         carbon,
+					BaselineCarbon: baseline,
 					UsageCost:      cost,
 					CPUHours:       h,
-					Segments: []metrics.Segment{{
-						Interval: iv, Reserved: res, OnDemand: od,
-					}},
+					Segments:       segs[i : i+1 : i+1],
 				}
 			}
 		}
 		return nil
+	}
+	if len(shards) == 1 {
+		// Replayed sweep cells are the hot caller (one cell per core
+		// already); skipping the worker pool keeps them allocation-light.
+		if err := account(shards[0]); err != nil {
+			return nil, err
+		}
+	} else if err := par.ForEach(len(shards), shards, func(_ int, sh par.Range) error {
+		return account(sh)
 	}); err != nil {
 		return nil, err
 	}
@@ -254,14 +417,22 @@ func runDirect(ctx context.Context, cfg Config, trace *workload.Trace) (*metrics
 	return res, nil
 }
 
-// timeOrder returns 0..len(keys)-1 stably sorted ascending by key: a
-// counting sort when the key range is comparable to n (simulation
-// endpoints cluster into at most a horizon's worth of minutes), a stdlib
-// stable sort otherwise. Both are stable, so ties keep input order —
-// exactly the (time, index) lexicographic order the sweep needs.
+// timeOrder returns 0..len(keys)-1 stably sorted ascending by key; see
+// timeOrderInto for the algorithm.
 func timeOrder(keys []simtime.Time) []int32 {
+	return timeOrderInto(make([]int32, len(keys)), new([]int32), keys)
+}
+
+// timeOrderInto fills ord (len(ord) == len(keys)) with 0..len(keys)-1
+// stably sorted ascending by key: a counting sort when the key range is
+// comparable to n (simulation endpoints cluster into at most a horizon's
+// worth of minutes), a stdlib stable sort otherwise. Both are stable, so
+// ties keep input order — exactly the (time, index) lexicographic order
+// the sweep needs. cnt is the reusable counting-bucket buffer (resliced
+// and cleared here, grown when a wider key span needs it).
+func timeOrderInto(ord []int32, cnt *[]int32, keys []simtime.Time) []int32 {
 	n := len(keys)
-	ord := make([]int32, n)
+	ord = ord[:n]
 	for i := range ord {
 		ord[i] = int32(i)
 	}
@@ -278,17 +449,24 @@ func timeOrder(keys []simtime.Time) []int32 {
 	}
 	span := int64(hi-lo) + 1
 	if span <= int64(8*n) || span <= 1<<16 {
-		cnt := make([]int32, span+1)
-		for _, k := range keys {
-			cnt[int64(k-lo)+1]++
+		want := int(span) + 1
+		if cap(*cnt) < want {
+			*cnt = make([]int32, want)
+		} else {
+			*cnt = (*cnt)[:want]
+			clear(*cnt)
 		}
-		for b := 1; b < len(cnt); b++ {
-			cnt[b] += cnt[b-1]
+		buckets := *cnt
+		for _, k := range keys {
+			buckets[int64(k-lo)+1]++
+		}
+		for b := 1; b < len(buckets); b++ {
+			buckets[b] += buckets[b-1]
 		}
 		for i, k := range keys {
 			b := int64(k - lo)
-			ord[cnt[b]] = int32(i)
-			cnt[b]++
+			ord[buckets[b]] = int32(i)
+			buckets[b]++
 		}
 		return ord
 	}

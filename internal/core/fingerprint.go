@@ -138,6 +138,100 @@ func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
 // entries written under the old layout can never collide with new keys.
 const fingerprintLayout = 1
 
+// DecisionFingerprint returns a content hash identifying the *decide
+// phase* of running this configuration over jobs: two configurations
+// decision-fingerprint equal if and only if the direct path's decide phase
+// is guaranteed to produce the identical start-time column for both, so a
+// DecisionPlan cached under the hash replays bit-identically
+// (plan.go). ok=false means the configuration has no decision projection —
+// it is not direct-eligible (work-conserving, spot routing, a plan-capable
+// or unrecognized policy, an opaque CIS), or a Force* differential seam is
+// active — and callers must run the full path.
+//
+// The hash is a strict projection of Fingerprint onto the inputs the
+// decide phase reads: policy identity, the CIS trace (the forecasts
+// policies consult — NOT the realized Carbon trace, which only accounting
+// integrates), the queue ladder's classification bounds and wait
+// guarantees, the average-length estimates, and the workload itself.
+// Everything else is accounting replayed per cell — Reserved, prices, the
+// power model, the realized carbon trace, the horizon, retention, spot
+// knobs (forced inert by eligibility) — and is deliberately excluded, so a
+// reserved-size or carbon-tax sweep shares one plan across every cell.
+//
+// Unlike Fingerprint, RetainJobs does not spoil the hash: retention
+// changes what the replay materializes, never what the decide phase
+// chooses.
+func (c Config) DecisionFingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
+	canon := c.withDefaults()
+	if canon.Policy == nil || canon.Carbon == nil || jobs == nil {
+		return fp, false
+	}
+	if canon.validate() != nil {
+		return fp, false
+	}
+	if forceHeapEngine.Load() || forceEventEngine.Load() {
+		// Forced differential runs must exercise the forced mechanism end
+		// to end; replaying a cached plan would skip the phase under test.
+		return fp, false
+	}
+	if !canon.directEligible() {
+		return fp, false
+	}
+	ptag, pparam, ok := policyIdentity(canon.Policy)
+	if !ok {
+		return fp, false
+	}
+	// directEligible admitted the config, so the CIS is the perfect
+	// service wrapping some (possibly distinct) trace.
+	perfect := canon.CIS.(*carbon.PerfectService)
+
+	h := sha256.New()
+	var buf [8]byte
+	le := binary.LittleEndian
+	u64 := func(v uint64) {
+		le.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	// Domain separator: a decision fingerprint must never collide with a
+	// full simulation fingerprint of any configuration.
+	h.Write([]byte("gaia:decision-plan"))
+	u64(decisionFingerprintLayout)
+	u64(uint64(ptag))
+	f64(pparam)
+	sfp := perfect.Trace().Fingerprint()
+	h.Write(sfp[:])
+	u64(uint64(len(canon.Queues)))
+	for _, q := range canon.Queues {
+		u64(uint64(q.MaxLength))
+		u64(uint64(q.MaxWait))
+	}
+	keys := make([]int, 0, len(canon.AvgLengthOverride))
+	for q := range canon.AvgLengthOverride {
+		if int(q) >= 0 && int(q) < len(canon.Queues) {
+			keys = append(keys, int(q))
+		}
+	}
+	sort.Ints(keys)
+	u64(uint64(len(keys)))
+	for _, k := range keys {
+		u64(uint64(k))
+		u64(uint64(canon.AvgLengthOverride[workload.Queue(k)]))
+	}
+	jfp := jobs.Fingerprint()
+	h.Write(jfp[:])
+
+	h.Sum(fp[:0])
+	return fp, true
+}
+
+// decisionFingerprintLayout versions the DecisionFingerprint hash layout,
+// independently of fingerprintLayout. Bump on any change to the set or
+// order of hashed fields; it also participates in the plan cache's on-disk
+// entry names so stale artifacts never match.
+const decisionFingerprintLayout = 1
+
 // policyIdentity maps a policy to a stable tag plus its parameters. Only
 // policies this function knows are cacheable: an unknown implementation
 // may carry hidden state the fingerprint cannot see. Tags are frozen —

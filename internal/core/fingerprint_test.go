@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/hex"
 	"math/rand"
 	"testing"
 
 	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/cloud"
 	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/simtime"
 	"github.com/carbonsched/gaia/internal/workload"
@@ -177,5 +179,149 @@ func TestFingerprintNotCacheable(t *testing.T) {
 	defer ForceHeapEngine(false)
 	if _, ok := (Config{Policy: policy.CarbonTime{}, Carbon: tr}).Fingerprint(jobs); ok {
 		t.Error("ForceHeapEngine: expected not fingerprintable")
+	}
+}
+
+func mustDecisionFingerprint(t *testing.T, cfg Config, jobs *workload.Trace) [32]byte {
+	t.Helper()
+	fp, ok := cfg.DecisionFingerprint(jobs)
+	if !ok {
+		t.Fatalf("config unexpectedly has no decision fingerprint: %+v", cfg)
+	}
+	return fp
+}
+
+// TestDecisionFingerprintEquivalence asserts the projection property the
+// plan cache rests on: configurations that differ only in accounting
+// knobs — reserved size, prices, the power model, the horizon, labels,
+// retention, even the realized carbon trace (with the CIS pinned) — share
+// one decision fingerprint, so a sweep over any of them decides once.
+func TestDecisionFingerprintEquivalence(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	tr2 := carbon.RegionCAUS.Generate(24*10, 1)
+	base := Config{Policy: policy.CarbonTime{}, Carbon: tr}
+	want := mustDecisionFingerprint(t, base, jobs)
+
+	equivalents := map[string]Config{
+		"reserved": {Policy: policy.CarbonTime{}, Carbon: tr, Reserved: 500},
+		"pricing": {Policy: policy.CarbonTime{}, Carbon: tr,
+			Pricing: cloud.Pricing{OnDemandHourly: 9.9, ReservedFraction: 0.5, SpotFraction: 0.1}},
+		"power": {Policy: policy.CarbonTime{}, Carbon: tr,
+			Power: cloud.Power{KWPerCPU: 0.5}},
+		"horizon":  {Policy: policy.CarbonTime{}, Carbon: tr, Horizon: 9 * simtime.Day},
+		"label":    {Policy: policy.CarbonTime{}, Carbon: tr, Label: "renamed"},
+		"retained": {Policy: policy.CarbonTime{}, Carbon: tr, RetainJobs: true},
+		// The decisive trace is the CIS forecast, not the realized carbon
+		// trace accounting integrates — the carbon-tax experiment's
+		// schedule/bill pairs rely on exactly this sharing.
+		"realized carbon trace": {Policy: policy.CarbonTime{}, Carbon: tr2,
+			CIS: carbon.NewPerfectService(tr)},
+		"explicit defaults": {Policy: policy.CarbonTime{}, Carbon: tr,
+			ShortMax: 2 * simtime.Hour, WaitShort: 6 * simtime.Hour, WaitLong: 24 * simtime.Hour},
+		"override for queue out of range": {Policy: policy.CarbonTime{}, Carbon: tr,
+			AvgLengthOverride: map[workload.Queue]simtime.Duration{7: simtime.Hour}},
+	}
+	for name, cfg := range equivalents {
+		if got := mustDecisionFingerprint(t, cfg, jobs); got != want {
+			t.Errorf("%s: decision fingerprint differs from base", name)
+		}
+	}
+}
+
+// TestDecisionFingerprintDistinguishes asserts that every input the decide
+// phase reads splits the fingerprint.
+func TestDecisionFingerprintDistinguishes(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	tr2 := carbon.RegionCAUS.Generate(24*10, 1)
+	jobs2 := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(4)), 200, simtime.Week)
+	base := Config{Policy: policy.CarbonTime{}, Carbon: tr}
+	want := mustDecisionFingerprint(t, base, jobs)
+
+	variants := map[string]struct {
+		cfg  Config
+		jobs *workload.Trace
+	}{
+		"policy":    {Config{Policy: policy.LowestWindow{}, Carbon: tr}, jobs},
+		"cis trace": {Config{Policy: policy.CarbonTime{}, Carbon: tr, CIS: carbon.NewPerfectService(tr2)}, jobs},
+		"workload":  {base, jobs2},
+		"wait bound": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			WaitShort: 12 * simtime.Hour}, jobs},
+		"queue ladder": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			ShortMax: 4 * simtime.Hour}, jobs},
+		"avg-length override": {Config{Policy: policy.CarbonTime{}, Carbon: tr,
+			AvgLengthOverride: map[workload.Queue]simtime.Duration{
+				workload.QueueLong: 7 * simtime.Hour,
+			}}, jobs},
+	}
+	for name, v := range variants {
+		if got := mustDecisionFingerprint(t, v.cfg, v.jobs); got == want {
+			t.Errorf("%s: decision fingerprint collides with base", name)
+		}
+	}
+
+	// And it must never collide with the full simulation fingerprint of
+	// the same configuration (distinct hash domains).
+	if full := mustFingerprint(t, base, jobs); full == want {
+		t.Error("decision fingerprint collides with the full fingerprint")
+	}
+}
+
+// TestDecisionFingerprintBypass pins when a configuration has no decision
+// projection: every non-direct-eligible shape, nil inputs, and active
+// differential seams. Retention, by contrast, must NOT spoil it.
+func TestDecisionFingerprintBypass(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	cases := map[string]Config{
+		"work-conserving": {Policy: policy.CarbonTime{}, Carbon: tr, WorkConserving: true},
+		"spot":            {Policy: policy.CarbonTime{}, Carbon: tr, SpotMaxLen: 2 * simtime.Hour},
+		"plan policy":     {Policy: policy.WaitAwhile{}, Carbon: tr},
+		"opaque CIS": {Policy: policy.CarbonTime{}, Carbon: tr,
+			CIS: carbon.NewNoisyService(tr, 0.05, 1)},
+		"no policy": {Carbon: tr},
+		"no carbon": {Policy: policy.CarbonTime{}},
+	}
+	for name, cfg := range cases {
+		if _, ok := cfg.DecisionFingerprint(jobs); ok {
+			t.Errorf("%s: expected no decision fingerprint", name)
+		}
+	}
+	eligible := Config{Policy: policy.CarbonTime{}, Carbon: tr}
+	if _, ok := eligible.DecisionFingerprint(nil); ok {
+		t.Error("nil jobs: expected no decision fingerprint")
+	}
+
+	// Retention changes what the replay materializes, not what the decide
+	// phase chooses — retained runs may share plans.
+	retained := eligible
+	retained.RetainJobs = true
+	if _, ok := retained.DecisionFingerprint(jobs); !ok {
+		t.Error("retained config should keep its decision fingerprint")
+	}
+
+	// Forced differential runs must not replay cached plans: the seams
+	// exist to exercise a specific mechanism end to end.
+	ForceEventEngine(true)
+	if _, ok := eligible.DecisionFingerprint(jobs); ok {
+		t.Error("ForceEventEngine: expected no decision fingerprint")
+	}
+	ForceEventEngine(false)
+	ForceHeapEngine(true)
+	defer ForceHeapEngine(false)
+	if _, ok := eligible.DecisionFingerprint(jobs); ok {
+		t.Error("ForceHeapEngine: expected no decision fingerprint")
+	}
+}
+
+// TestDecisionFingerprintGolden pins the canonical hash of a fixed
+// configuration over the deterministic fixture. A change here means the
+// decision fingerprint layout changed: on-disk plan artifacts silently
+// orphan, and decisionFingerprintLayout must be bumped alongside.
+func TestDecisionFingerprintGolden(t *testing.T) {
+	tr, jobs := fpFixture(t)
+	cfg := Config{Policy: policy.LowestWindow{}, Carbon: tr, Reserved: 42}
+	fp := mustDecisionFingerprint(t, cfg, jobs)
+	const want = "1d1b16cd19304eb7eddc7995118b1a6f15ba1de3930704c1341280c5318c4035"
+	if got := hex.EncodeToString(fp[:]); got != want {
+		t.Errorf("decision fingerprint drifted:\n got %s\nwant %s", got, want)
 	}
 }

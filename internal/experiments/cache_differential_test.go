@@ -3,6 +3,8 @@ package experiments
 import (
 	"testing"
 
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/runcache"
 )
 
@@ -56,6 +58,11 @@ func TestFiguresIdenticalWithCache(t *testing.T) {
 		t.Error("cold pass: expected cross-figure cache hits, got none")
 	} else if total.Computed == 0 {
 		t.Error("cold pass: expected computed cells, got none")
+	} else if total.PlanHits == 0 {
+		// Reserved sweeps and the carbon-tax schedule/bill pairs differ
+		// only in accounting knobs; the plan tier must be sharing their
+		// decide phases even on a cold cache.
+		t.Error("cold pass: expected decision-plan hits, got none")
 	}
 	ResetCacheStats()
 	compare("cache warm", renderAll(t, "cache warm"))
@@ -86,5 +93,90 @@ func TestFiguresIdenticalWithCache(t *testing.T) {
 		t.Error("disk-warm pass: expected disk hits, got none")
 	} else if total.Computed != 0 {
 		t.Errorf("disk-warm pass: %d cells re-simulated, want 0", total.Computed)
+	}
+}
+
+// TestReservedSweepSharesPlans is the plan-reuse smoke (wired into
+// `make bench-quick`): a reserved-size sweep through a fresh cache decides
+// exactly once, replays every other cell from the shared plan, and renders
+// byte-identically to uncached runs; a second process over the same disk
+// store replays a disjoint sweep from the persisted plan.
+func TestReservedSweepSharesPlans(t *testing.T) {
+	prev := ActiveCache()
+	defer SetCache(prev)
+	defer ResetCacheStats()
+
+	tr, err := prototypeCarbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := prototypeWeek()
+	cells := make([]cell, 0, 8)
+	for r := 0; r < 8; r++ {
+		cfg := weekConfig(policy.CarbonTime{}, tr)
+		cfg.Reserved = r * 10
+		cells = append(cells, cell{cfg, jobs})
+	}
+
+	SetCache(nil)
+	want, err := runCells("plan-smoke", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cold := runcache.New()
+	cold.Logf = t.Logf
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	SetCache(cold)
+	ResetCacheStats()
+	got, err := runCells("plan-smoke", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Errorf("cell %d differs from uncached render:\n%s\nvs\n%s", i, got[i], want[i])
+		}
+	}
+	_, _, total := CacheStats()
+	if total.PlanHits != len(cells)-1 || total.Computed != 1 {
+		t.Errorf("cold sweep: %d computed + %d plan hits, want 1 + %d (stats %+v)",
+			total.Computed, total.PlanHits, len(cells)-1, total)
+	}
+
+	// A fresh cache over the same store, sweeping reserved sizes nobody
+	// computed: every cell replays the plan decoded from disk.
+	warm := runcache.New()
+	warm.Logf = t.Logf
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	SetCache(warm)
+	ResetCacheStats()
+	disjoint := make([]cell, len(cells))
+	for i, c := range cells {
+		c.cfg.Reserved += 25
+		disjoint[i] = c
+	}
+	fresh, err := runCells("plan-smoke", disjoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		ref, err := core.Run(disjoint[i].cfg, disjoint[i].jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh[i].String() != ref.String() {
+			t.Errorf("disk-replayed cell %d differs from direct run", i)
+		}
+	}
+	if _, _, total := CacheStats(); total.PlanDiskHits == 0 {
+		t.Errorf("disjoint sweep: expected plan disk hits, got %+v", total)
+	} else if total.Computed != 0 {
+		t.Errorf("disjoint sweep: %d cells re-decided, want 0 (stats %+v)", total.Computed, total)
 	}
 }

@@ -69,15 +69,25 @@ type CellStats struct {
 	// backed on a concurrent in-flight computation, DiskHits decoded a
 	// persisted entry.
 	Hits, Dedups, DiskHits int
+	// PlanHits and PlanDiskHits are cells whose decide phase was served
+	// by the decision-plan tier (from memory and disk respectively) and
+	// which therefore only replayed accounting — partial computations,
+	// counted in Total but not in Avoided.
+	PlanHits, PlanDiskHits int
 }
 
 // Total returns how many cells the figure requested.
 func (s CellStats) Total() int {
-	return s.Computed + s.Bypassed + s.Hits + s.Dedups + s.DiskHits
+	return s.Computed + s.Bypassed + s.Hits + s.Dedups + s.DiskHits +
+		s.PlanHits + s.PlanDiskHits
 }
 
 // Avoided returns how many simulations the cache saved this figure.
 func (s CellStats) Avoided() int { return s.Hits + s.Dedups + s.DiskHits }
+
+// DecisionsAvoided returns how many cells skipped their decide phase by
+// replaying a shared decision plan (still paying for accounting replay).
+func (s CellStats) DecisionsAvoided() int { return s.PlanHits + s.PlanDiskHits }
 
 func (s *CellStats) add(o runcache.Outcome) {
 	switch o {
@@ -91,6 +101,10 @@ func (s *CellStats) add(o runcache.Outcome) {
 		s.DiskHits++
 	case runcache.Bypass:
 		s.Bypassed++
+	case runcache.PlanHit:
+		s.PlanHits++
+	case runcache.PlanDiskHit:
+		s.PlanDiskHits++
 	}
 }
 
@@ -101,6 +115,8 @@ func (s *CellStats) merge(o CellStats) {
 	s.Hits += o.Hits
 	s.Dedups += o.Dedups
 	s.DiskHits += o.DiskHits
+	s.PlanHits += o.PlanHits
+	s.PlanDiskHits += o.PlanDiskHits
 }
 
 // cellStats attributes cache outcomes to the figure that requested the

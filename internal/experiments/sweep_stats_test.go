@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/runcache"
+)
+
+// TestCellStatsPlanTotals pins the cell accounting around the plan tier:
+// every outcome lands in its own counter, plan outcomes participate in
+// Total and DecisionsAvoided but never in Avoided (the replay still ran),
+// and merged per-figure stats sum field-wise.
+func TestCellStatsPlanTotals(t *testing.T) {
+	var s CellStats
+	outcomes := []runcache.Outcome{
+		runcache.Computed, runcache.Computed,
+		runcache.Hit,
+		runcache.Dedup,
+		runcache.DiskHit,
+		runcache.Bypass,
+		runcache.PlanHit, runcache.PlanHit, runcache.PlanHit,
+		runcache.PlanDiskHit,
+	}
+	for _, o := range outcomes {
+		s.add(o)
+	}
+	if s.PlanHits != 3 || s.PlanDiskHits != 1 {
+		t.Errorf("plan counters = %d/%d, want 3/1", s.PlanHits, s.PlanDiskHits)
+	}
+	if got := s.Total(); got != len(outcomes) {
+		t.Errorf("Total() = %d, want %d", got, len(outcomes))
+	}
+	if got := s.Avoided(); got != 3 {
+		t.Errorf("Avoided() = %d, want 3 (plan outcomes must not count)", got)
+	}
+	if got := s.DecisionsAvoided(); got != 4 {
+		t.Errorf("DecisionsAvoided() = %d, want 4", got)
+	}
+
+	other := CellStats{Computed: 1, Bypassed: 2, Hits: 3, Dedups: 4,
+		DiskHits: 5, PlanHits: 6, PlanDiskHits: 7}
+	merged := s
+	merged.merge(other)
+	want := CellStats{
+		Computed: s.Computed + 1, Bypassed: s.Bypassed + 2,
+		Hits: s.Hits + 3, Dedups: s.Dedups + 4, DiskHits: s.DiskHits + 5,
+		PlanHits: s.PlanHits + 6, PlanDiskHits: s.PlanDiskHits + 7,
+	}
+	if merged != want {
+		t.Errorf("merge = %+v, want %+v", merged, want)
+	}
+
+	// The cross-figure snapshot totals must fold plan outcomes the same
+	// way.
+	ResetCacheStats()
+	defer ResetCacheStats()
+	recordOutcome("figA", runcache.PlanHit)
+	recordOutcome("figA", runcache.Computed)
+	recordOutcome("figB", runcache.PlanDiskHit)
+	ids, byFigure, total := CacheStats()
+	if len(ids) != 2 || ids[0] != "figA" || ids[1] != "figB" {
+		t.Fatalf("ids = %v, want [figA figB]", ids)
+	}
+	if byFigure["figA"].PlanHits != 1 || byFigure["figB"].PlanDiskHits != 1 {
+		t.Errorf("per-figure plan counters wrong: %+v", byFigure)
+	}
+	if total.DecisionsAvoided() != 2 || total.Total() != 3 {
+		t.Errorf("totals = %+v, want 2 decisions avoided of 3 cells", total)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"github.com/carbonsched/gaia/internal/carbon"
 	"github.com/carbonsched/gaia/internal/core"
 	"github.com/carbonsched/gaia/internal/metrics"
-	"github.com/carbonsched/gaia/internal/par"
 	"github.com/carbonsched/gaia/internal/policy"
 	"github.com/carbonsched/gaia/internal/simtime"
 )
@@ -61,14 +60,15 @@ func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
 	}
 	base, carbonOpt, baseBill := baselines[0], baselines[1], baselines[2]
 
-	// Each tax level is an independent cell: build its tariff, schedule
-	// against it, then re-run the identical schedule against the price
-	// trace to measure the bill.
-	type taxRun struct {
-		res, bill *metrics.Result
-	}
+	// Each tax level contributes two cells: schedule against its combined
+	// tariff, then re-run the identical schedule against the price trace
+	// to measure the bill. Both cells share the tariff CIS and differ only
+	// in the accounting ("carbon") trace, so the decision-plan tier
+	// decides each tax level once and replays the bill run from the
+	// shared plan.
 	taxes := []float64{0, 50, 100, 200, 500, 2000}
-	runs, err := par.Map(Parallelism(), taxes, func(_ int, tax float64) (taxRun, error) {
+	taxCells := make([]cell, 0, 2*len(taxes))
+	for _, tax := range taxes {
 		// Combined tariff in $/kWh: price/1000 ($/MWh→$/kWh) plus
 		// tax ($/tonne) × CI (g/kWh) / 1e6 (g→tonne).
 		tariff := make([]float64, hours)
@@ -83,21 +83,20 @@ func runX07CarbonTax(scale Scale) (fmt.Stringer, error) {
 			CIS:     carbon.NewPerfectService(tariffTrace),
 			Horizon: horizon(scale),
 		}
-		res, err := core.Run(cfg, jobs)
-		if err != nil {
-			return taxRun{}, err
-		}
-		// Energy bill of the same schedule.
 		billCfg := cfg
 		billCfg.Carbon = priceTrace
-		bill, err := core.Run(billCfg, jobs)
-		if err != nil {
-			return taxRun{}, err
-		}
-		return taxRun{res, bill}, nil
-	})
+		taxCells = append(taxCells, cell{cfg, jobs}, cell{billCfg, jobs})
+	}
+	taxResults, err := runCells("x07-carbontax", taxCells)
 	if err != nil {
 		return nil, err
+	}
+	type taxRun struct {
+		res, bill *metrics.Result
+	}
+	runs := make([]taxRun, len(taxes))
+	for i := range taxes {
+		runs[i] = taxRun{taxResults[2*i], taxResults[2*i+1]}
 	}
 
 	t := NewTable("Extension x07 — cost-only scheduling under a carbon tax (Alibaba, ERCOT-like grid)",

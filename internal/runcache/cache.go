@@ -56,6 +56,13 @@ const (
 	// Bypass: the configuration is not cacheable (unknown policy or CIS,
 	// per-job retention); the simulation ran directly.
 	Bypass
+	// PlanHit: the cell was computed, but its decide phase was served from
+	// an in-memory decision plan (another cell of the same decision
+	// fingerprint decided first) and only the replay ran (plan.go).
+	PlanHit
+	// PlanDiskHit: like PlanHit, with the plan decoded from the on-disk
+	// plan store.
+	PlanDiskHit
 )
 
 // String returns the lower-case outcome name used in cache-stats lines.
@@ -73,15 +80,28 @@ func (o Outcome) String() string {
 		return "remote-hit"
 	case Bypass:
 		return "bypass"
+	case PlanHit:
+		return "plan-hit"
+	case PlanDiskHit:
+		return "plan-disk-hit"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
 }
 
 // Avoided reports whether the outcome skipped a simulation this process
-// would otherwise have paid for.
+// would otherwise have paid for. Plan outcomes are deliberately excluded:
+// they avoided only the decide phase, and the replay still ran — they are
+// a partial computation, tallied separately.
 func (o Outcome) Avoided() bool {
 	return o == Hit || o == Dedup || o == DiskHit || o == RemoteHit
+}
+
+// AvoidedDecide reports whether the outcome skipped at least the decide
+// phase of a simulation (plan outcomes skip only that; full cache hits
+// skip everything).
+func (o Outcome) AvoidedDecide() bool {
+	return o.Avoided() || o == PlanHit || o == PlanDiskHit
 }
 
 // entry is one cell's single-flight slot. The leader (whoever inserted
@@ -103,13 +123,18 @@ type Cache struct {
 
 	mu      sync.Mutex
 	entries map[[32]byte]*entry
-	dir     string      // "" = in-memory tier only
-	remote  RemoteStore // nil = no shared fleet tier
+	plans   map[[32]byte]*planEntry // keyed by DecisionFingerprint
+	dir     string                  // "" = in-memory tier only
+	remote  RemoteStore             // nil = no shared fleet tier
 }
 
 // New returns an empty in-memory cache. Call SetDir to add the disk tier.
 func New() *Cache {
-	return &Cache{Logf: log.Printf, entries: make(map[[32]byte]*entry)}
+	return &Cache{
+		Logf:    log.Printf,
+		entries: make(map[[32]byte]*entry),
+		plans:   make(map[[32]byte]*planEntry),
+	}
 }
 
 // SetDir attaches the on-disk store rooted at dir, creating it if needed.
@@ -183,6 +208,9 @@ func (c *Cache) RunContext(ctx context.Context, cfg core.Config, jobs *workload.
 	// remote fleet tier (another replica computed it) → compute. A remote
 	// hit also warms the local disk tier; a computed cell is offered to
 	// both, so the cell's ring owner ends up holding it for the fleet.
+	// Computation itself consults one more tier: the decision-plan cache
+	// (plan.go), which lets a cell whose decide phase matches an earlier
+	// cell replay accounting over the shared plan (PlanHit/PlanDiskHit).
 	outcome := Computed
 	acc := c.loadDisk(dir, fp)
 	if acc != nil {
@@ -191,15 +219,16 @@ func (c *Cache) RunContext(ctx context.Context, cfg core.Config, jobs *workload.
 		outcome = RemoteHit
 		c.storeDisk(dir, fp, acc)
 	} else {
-		res, err := core.RunContext(ctx, canon, jobs)
+		res, served, err := c.computePlanned(ctx, canon, jobs)
 		if err != nil {
 			c.mu.Lock()
 			delete(c.entries, fp)
 			c.mu.Unlock()
 			e.err = err
 			close(e.done)
-			return nil, Computed, err
+			return nil, served, err
 		}
+		outcome = served
 		acc = res.Accumulator()
 		c.storeDisk(dir, fp, acc)
 		if remote != nil {

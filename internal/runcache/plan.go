@@ -1,0 +1,182 @@
+package runcache
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/metrics"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// The decision-plan tier.
+//
+// The result cache (cache.go) shares work only between byte-identical
+// cells. The plan tier shares the *decide phase* across cells that differ
+// in accounting knobs only — a 20-point reserved sweep, a carbon-tax sweep
+// — keyed by core.Config.DecisionFingerprint: the first cell decides every
+// job and publishes the start-time column as an immutable
+// core.DecisionPlan; every later cell replays the sweep-line and
+// accounting phases over the shared plan under its own knobs
+// (core.RunWithPlan), bit-identical to a full run. Like the result tiers,
+// plans are single-flight in memory, persisted to the cache directory
+// under the plan codec, and errors are never cached. A plan that fails to
+// decode or replay is discarded and the cell recomputes from scratch — a
+// bad artifact can cost time, never correctness.
+
+// planEntry is one decision fingerprint's single-flight slot; the leader
+// closes done after setting plan or err.
+type planEntry struct {
+	done chan struct{}
+	plan *core.DecisionPlan
+	err  error
+}
+
+// computePlanned runs one cell the result tiers missed, serving its decide
+// phase from the plan tier when the configuration has a decision
+// projection. The returned Outcome is Computed when the cell decided for
+// itself (including priming the plan tier), PlanHit/PlanDiskHit when a
+// cached plan served the decide phase and only the replay ran.
+func (c *Cache) computePlanned(ctx context.Context, canon core.Config, jobs *workload.Trace) (*metrics.Result, Outcome, error) {
+	dfp, ok := canon.DecisionFingerprint(jobs)
+	if !ok {
+		res, err := core.RunContext(ctx, canon, jobs)
+		return res, Computed, err
+	}
+	plan, served, err := c.planFor(ctx, dfp, canon, jobs)
+	if err != nil {
+		if errors.Is(err, core.ErrNoPlan) {
+			// The decide phase dynamically fell back (the policy returned a
+			// suspend-resume plan); run the full engine path.
+			res, rerr := core.RunContext(ctx, canon, jobs)
+			return res, Computed, rerr
+		}
+		// A decide-phase failure is exactly the error core.Run would
+		// return for this cell; surface it (planFor already dropped the
+		// entry, so it is never cached).
+		return nil, Computed, err
+	}
+	res, err := core.RunWithPlan(ctx, canon, jobs, plan)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, served, err
+		}
+		// A plan the replay rejects (shape skew from a stale or corrupt
+		// artifact) costs a recompute, never correctness.
+		c.Logf("runcache: replaying plan %s: %v (recomputing)", hex.EncodeToString(dfp[:8]), err)
+		res, rerr := core.RunContext(ctx, canon, jobs)
+		return res, Computed, rerr
+	}
+	return res, served, nil
+}
+
+// planFor serves one decision fingerprint through the plan tier: memory
+// (single-flight) → disk → decide. The outcome is PlanHit for any caller
+// served by an entry another caller created (completed or in flight —
+// either way this cell skipped its decide phase), PlanDiskHit when this
+// caller decoded the plan from disk, Computed when it ran the decide
+// phase itself.
+func (c *Cache) planFor(ctx context.Context, dfp [32]byte, canon core.Config, jobs *workload.Trace) (*core.DecisionPlan, Outcome, error) {
+	c.mu.Lock()
+	if e, exists := c.plans[dfp]; exists {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, PlanHit, ctx.Err()
+		}
+		if e.err != nil {
+			// The leader failed and removed the entry; the error is
+			// deterministic for these inputs, so share it.
+			return nil, PlanHit, e.err
+		}
+		return e.plan, PlanHit, nil
+	}
+	e := &planEntry{done: make(chan struct{})}
+	c.plans[dfp] = e
+	dir := c.dir
+	c.mu.Unlock()
+
+	served := Computed
+	plan := c.loadPlanDisk(dir, dfp)
+	if plan != nil {
+		served = PlanDiskHit
+	} else {
+		var err error
+		plan, err = core.DecidePlan(ctx, canon, jobs)
+		if err != nil {
+			c.mu.Lock()
+			delete(c.plans, dfp)
+			c.mu.Unlock()
+			e.err = err
+			close(e.done)
+			return nil, Computed, err
+		}
+		c.storePlanDisk(dir, dfp, plan)
+	}
+	e.plan = plan
+	close(e.done)
+	return plan, served, nil
+}
+
+// planPath names a disk entry of the plan store. The decision fingerprint
+// layout is already folded into dfp; the plan codec and store versions are
+// spelled out in the name, so artifacts written by an incompatible binary
+// simply never match.
+func planPath(dir string, dfp [32]byte) string {
+	name := fmt.Sprintf("%s.p%d.s%d.gplan", hex.EncodeToString(dfp[:]), core.PlanCodecVersion, StoreVersion)
+	return filepath.Join(dir, name)
+}
+
+// loadPlanDisk fetches and decodes a plan entry, returning nil on any miss
+// or problem. Absent files are silent; anything else is logged.
+func (c *Cache) loadPlanDisk(dir string, dfp [32]byte) *core.DecisionPlan {
+	if dir == "" {
+		return nil
+	}
+	path := planPath(dir, dfp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.Logf("runcache: reading %s: %v (deciding)", path, err)
+		}
+		return nil
+	}
+	plan, err := core.DecodeDecisionPlan(data)
+	if err != nil {
+		c.Logf("runcache: decoding %s: %v (deciding)", path, err)
+		return nil
+	}
+	return plan
+}
+
+// storePlanDisk persists a plan atomically (temp file + rename), like
+// storeDisk. Failures are logged and otherwise ignored.
+func (c *Cache) storePlanDisk(dir string, dfp [32]byte, plan *core.DecisionPlan) {
+	if dir == "" {
+		return
+	}
+	path := planPath(dir, dfp)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		c.Logf("runcache: creating temp plan in %s: %v", dir, err)
+		return
+	}
+	data := core.EncodeDecisionPlan(plan)
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), path)
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		c.Logf("runcache: writing %s: %v", path, err)
+	}
+}

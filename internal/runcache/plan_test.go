@@ -1,0 +1,221 @@
+package runcache
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/carbon"
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+	"github.com/carbonsched/gaia/internal/simtime"
+	"github.com/carbonsched/gaia/internal/workload"
+)
+
+// planFixture builds a direct-eligible cell (the work-conserving knob in
+// the shared fixture disqualifies the plan tier on purpose there).
+func planFixture(t testing.TB) (core.Config, *workload.Trace) {
+	t.Helper()
+	tr := carbon.RegionSAAU.Generate(24*7, 1)
+	jobs := workload.AlibabaPAIWeek().GenerateByCount(rand.New(rand.NewSource(6)), 300, simtime.Week)
+	cfg := core.Config{Policy: policy.CarbonTime{}, Carbon: tr}
+	return cfg, jobs
+}
+
+// TestPlanTierSharesDecideAcrossReservedSweep pins the tentpole behavior:
+// cells that differ only in accounting knobs miss the result tier but
+// share one decide via the plan tier, and replayed cells stay
+// bit-identical to fresh core.Run results.
+func TestPlanTierSharesDecideAcrossReservedSweep(t *testing.T) {
+	cfg, jobs := planFixture(t)
+	c := New()
+
+	first, outcome, err := c.Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Computed {
+		t.Fatalf("first cell: outcome %v, want computed", outcome)
+	}
+	want, err := core.Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, first, want)
+
+	for _, reserved := range []int{10, 50, 200} {
+		swept := cfg
+		swept.Reserved = reserved
+		got, outcome, err := c.Run(swept, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != PlanHit {
+			t.Fatalf("reserved=%d: outcome %v, want plan-hit", reserved, outcome)
+		}
+		want, err := core.Run(swept, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, got, want)
+	}
+
+	// A repeated cell is served by the result tier, not replayed again.
+	repeat := cfg
+	repeat.Reserved = 50
+	if _, outcome, err := c.Run(repeat, jobs); err != nil || outcome != Hit {
+		t.Fatalf("repeated cell: outcome %v err %v, want hit", outcome, err)
+	}
+}
+
+// TestPlanTierDisk pins the persistent tier: a fresh process (new Cache,
+// same directory) sweeping a reserved size nobody computed before decodes
+// the plan from disk instead of deciding.
+func TestPlanTierDisk(t *testing.T) {
+	cfg, jobs := planFixture(t)
+	dir := t.TempDir()
+
+	cold := New()
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := cold.Run(cfg, jobs); err != nil || outcome != Computed {
+		t.Fatalf("cold run: outcome %v err %v, want computed", outcome, err)
+	}
+	plans, err := filepath.Glob(filepath.Join(dir, "*.gplan"))
+	if err != nil || len(plans) != 1 {
+		t.Fatalf("expected exactly one plan artifact, got %v (%v)", plans, err)
+	}
+
+	warm := New()
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	swept := cfg
+	swept.Reserved = 77 // result fingerprint nobody has computed
+	got, outcome, err := warm.Run(swept, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != PlanDiskHit {
+		t.Fatalf("fresh-process sweep cell: outcome %v, want plan-disk-hit", outcome)
+	}
+	want, err := core.Run(swept, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, got, want)
+
+	// A reserved size nobody computed, on the cache that decided: replays
+	// from the in-memory plan without touching disk.
+	swept.Reserved = 88
+	if _, outcome, err := cold.Run(swept, jobs); err != nil || outcome != PlanHit {
+		t.Fatalf("memory-plan sweep cell: outcome %v err %v, want plan-hit", outcome, err)
+	}
+}
+
+// TestPlanTierCorruptArtifact pins the correctness contract: a corrupted
+// plan on disk is detected, logged, and the cell decides for itself.
+func TestPlanTierCorruptArtifact(t *testing.T) {
+	cfg, jobs := planFixture(t)
+	dir := t.TempDir()
+
+	cold := New()
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cold.Run(cfg, jobs); err != nil {
+		t.Fatal(err)
+	}
+	plans, _ := filepath.Glob(filepath.Join(dir, "*.gplan"))
+	if len(plans) != 1 {
+		t.Fatalf("expected one plan artifact, got %v", plans)
+	}
+	if err := os.WriteFile(plans[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	logged := 0
+	warm := New()
+	warm.Logf = func(string, ...any) { logged++ }
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	swept := cfg
+	swept.Reserved = 33
+	got, outcome, err := warm.Run(swept, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Computed {
+		t.Fatalf("corrupt plan: outcome %v, want computed", outcome)
+	}
+	if logged == 0 {
+		t.Error("corrupt plan artifact was not logged")
+	}
+	want, err := core.Run(swept, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, got, want)
+}
+
+// TestPlanTierSingleFlight asserts a concurrent sweep decides exactly
+// once: every cell differs in Reserved (no result-tier sharing), so all
+// but the one decide leader must report plan hits.
+func TestPlanTierSingleFlight(t *testing.T) {
+	cfg, jobs := planFixture(t)
+	c := New()
+
+	const cells = 8
+	outcomes := make([]Outcome, cells)
+	var wg sync.WaitGroup
+	for i := 0; i < cells; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			swept := cfg
+			swept.Reserved = (i + 1) * 10
+			_, outcome, err := c.Run(swept, jobs)
+			if err != nil {
+				t.Error(err)
+			}
+			outcomes[i] = outcome
+		}(i)
+	}
+	wg.Wait()
+
+	computed, planHits := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case Computed:
+			computed++
+		case PlanHit:
+			planHits++
+		default:
+			t.Errorf("unexpected outcome %v", o)
+		}
+	}
+	if computed != 1 || planHits != cells-1 {
+		t.Errorf("got %d computed + %d plan hits, want 1 + %d", computed, planHits, cells-1)
+	}
+}
+
+// TestPlanTierSkipsIneligibleConfigs asserts non-direct-eligible cells
+// neither consult nor pollute the plan store.
+func TestPlanTierSkipsIneligibleConfigs(t *testing.T) {
+	cfg, jobs := fixture(t) // work-conserving: no decision projection
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := c.Run(cfg, jobs); err != nil || outcome != Computed {
+		t.Fatalf("outcome %v err %v, want computed", outcome, err)
+	}
+	if plans, _ := filepath.Glob(filepath.Join(dir, "*.gplan")); len(plans) != 0 {
+		t.Errorf("ineligible config wrote plan artifacts: %v", plans)
+	}
+}
