@@ -82,6 +82,8 @@ func BenchmarkX05Checkpoint(b *testing.B)      { benchFigure(b, "x05-checkpoint"
 func BenchmarkX06Spatial(b *testing.B)         { benchFigure(b, "x06-spatial") }
 func BenchmarkX07CarbonTax(b *testing.B)       { benchFigure(b, "x07-carbontax") }
 func BenchmarkX08Scaling(b *testing.B)         { benchFigure(b, "x08-scaling") }
+func BenchmarkX09Elastic(b *testing.B)         { benchFigure(b, "x09-elastic") }
+func BenchmarkX10DAG(b *testing.B)             { benchFigure(b, "x10-dag") }
 
 // sweepCells builds a 16-cell reserved-size sweep — the canonical sweep
 // shape of the evaluation (Figure 11) — shared by the sequential and
@@ -233,21 +235,26 @@ func runSuite(b *testing.B) {
 }
 
 // BenchmarkSuiteColdVsWarm is the headline number of the simulation
-// cache: the full 26-figure suite rendered against a cold cache (every
-// unique cell simulates once, duplicates dedup) versus a warm one (every
-// cacheable cell served from memory). The warm/cold gap is the suite time
-// the cache gives back on re-runs.
+// cache: the full registered figure suite rendered against a cold cache
+// (every unique cell simulates once, duplicates dedup) versus a warm one
+// (every cacheable cell served from memory). The warm/cold gap is the
+// suite time the cache gives back on re-runs. The figure count rides in
+// the sub-benchmark name (like events= and depth= elsewhere) because the
+// op is "render the whole suite": when a PR adds figures the workload
+// changes, so the name changes and snapshot history restarts instead of
+// reading as a regression of unchanged machinery.
 func BenchmarkSuiteColdVsWarm(b *testing.B) {
 	prev := experiments.ActiveCache()
 	defer experiments.SetCache(prev)
-	b.Run("cold", func(b *testing.B) {
+	n := len(experiments.All())
+	b.Run(fmt.Sprintf("cold/figures=%d", n), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			experiments.SetCache(runcache.New())
 			runSuite(b)
 		}
 	})
-	b.Run("warm", func(b *testing.B) {
+	b.Run(fmt.Sprintf("warm/figures=%d", n), func(b *testing.B) {
 		experiments.SetCache(runcache.New())
 		runSuite(b) // prime the cache outside the timer
 		b.ReportAllocs()

@@ -82,7 +82,7 @@ func main() {
 		out       = flag.String("o", "", "output path (default stdout)")
 		baseline  = flag.String("baseline", "", "committed report to compare against; exit nonzero on ns/op regressions")
 		tolerance = flag.Float64("tolerance", 15, "ns/op growth in percent tolerated before a benchmark counts as regressed")
-		pathmix   = flag.Bool("pathmix", false, "stamp each benchmark with the run path its name declares (direct, wheel/engine, heap/engine)")
+		pathmix   = flag.Bool("pathmix", false, "stamp each benchmark with the run path its name declares (direct, wheel/engine, heap/engine, elastic/engine)")
 	)
 	flag.Parse()
 
@@ -136,7 +136,9 @@ func main() {
 // sub-benchmark segments. The convention: a segment named "direct" marks
 // the direct-execution path; "plan" the direct path replaying a cached
 // decision plan; "engine" or "wheel" the timing-wheel event engine;
-// "heap" the reference heap queue (an engine variant by definition).
+// "heap" the reference heap queue (an engine variant by definition);
+// "elastic" the event engine driving malleable or DAG jobs through the
+// hourly reallocation loop.
 // Names declaring no path return "" and stay unstamped — most benchmarks
 // measure something other than the run path.
 func pathOf(name string) string {
@@ -150,6 +152,8 @@ func pathOf(name string) string {
 			return "wheel/engine"
 		case "heap":
 			return "heap/engine"
+		case "elastic":
+			return "elastic/engine"
 		}
 	}
 	return ""

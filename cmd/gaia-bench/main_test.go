@@ -136,9 +136,12 @@ func TestPathOf(t *testing.T) {
 		{"ReservedSweepPlanReuse/plan", "direct+plan"},
 		{"ReservedSweepPlanReuse/direct", "direct"},
 		{"EventCoreMillionJobs/wheel", "wheel/engine"},
+		{"ElasticYear/elastic", "elastic/engine"},
+		{"DAGCriticalPath/elastic", "elastic/engine"},
 		{"EventCoreMillionJobs/heap", "heap/engine"},
 		{"SchedulerThroughput", ""},
 		{"Chatty/direction", ""}, // substring of a segment must not match
+		{"Suite/elasticity", ""}, // likewise for the elastic segment
 		{"Suite/planner", ""},    // likewise for the plan segment
 	}
 	for _, tc := range cases {

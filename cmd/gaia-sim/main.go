@@ -20,6 +20,10 @@
 //
 //	# Replay real traces exported to CSV:
 //	gaia-sim -policy carbon-time -carbon ci.csv -workload jobs.csv
+//
+//	# Malleable jobs with precedence edges, resized hourly by the
+//	# greedy-marginal allocator:
+//	gaia-sim -policy critical-path -elastic jobs.csv -dag edges.csv -allocator greedy-marginal
 package main
 
 import (
@@ -52,7 +56,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("gaia-sim", flag.ContinueOnError)
 	var (
 		policyName = fs.String("policy", "carbon-time",
-			"scheduling policy: nowait|allwait|lowest-slot|lowest-window|carbon-time|wait-awhile|wait-awhile-est|ecovisor")
+			"scheduling policy: nowait|allwait|lowest-slot|lowest-window|carbon-time|wait-awhile|wait-awhile-est|ecovisor|critical-path")
 		region     = fs.String("region", "CA-US", "built-in carbon region (SE|ON-CA|SA-AU|CA-US|NL|KY-US)")
 		carbonFile = fs.String("carbon", "", "carbon trace CSV (overrides -region)")
 		carbonFmt  = fs.String("carbon-format", "gaia", "carbon CSV schema: gaia (hour,ci) or emaps (datetime,...,ci)")
@@ -71,6 +75,10 @@ func run(args []string) error {
 		runtime    = fs.String("runtime", "sim", "execution model: sim (GAIA-Simulator) or prototype (node-level batch runtime)")
 		scenario   = fs.String("scenario", "", "JSON scenario file describing a batch of runs to compare (ignores other flags)")
 		checkpoint = fs.Float64("checkpoint", 0, "spot checkpoint interval in hours (0 = progress lost on eviction)")
+		elastic    = fs.String("elastic", "", "malleable workload CSV with per-job replica bounds and scale curves (overrides -workload/-family)")
+		dag        = fs.String("dag", "", "precedence edges CSV (src,dst job ids) attached to the -elastic workload")
+		allocator  = fs.String("allocator", "", "elastic replica allocator: "+strings.Join(policy.AllocatorNames(), "|")+" (default static-min)")
+		elasticCap = fs.Int("elastic-capacity", 0, "cap on extra-replica CPUs per hour beyond the idle reserved pool (0 = idle pool only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,13 +100,39 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	jobsTr, err := loadWorkload(*wlFile, *family, *jobs, *days, *seed)
-	if err != nil {
-		return err
+	var elasticTr *workload.ElasticTrace
+	var jobsTr *workload.Trace
+	if *elastic != "" {
+		elasticTr, err = loadElastic(*elastic, *dag)
+		if err != nil {
+			return err
+		}
+		jobsTr = elasticTr.Jobs
+	} else {
+		if *dag != "" {
+			return fmt.Errorf("-dag requires -elastic (edges refer to the elastic workload's job ids)")
+		}
+		jobsTr, err = loadWorkload(*wlFile, *family, *jobs, *days, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	var alloc policy.ElasticAllocator
+	if *allocator != "" {
+		if elasticTr == nil {
+			return fmt.Errorf("-allocator requires -elastic")
+		}
+		alloc, err = policy.AllocatorByName(*allocator)
+		if err != nil {
+			return err
+		}
 	}
 
 	horizon := simtime.Duration(*days+3) * simtime.Day
 	if *runtime == "prototype" {
+		if elasticTr != nil {
+			return fmt.Errorf("the prototype runtime does not support -elastic workloads")
+		}
 		return runPrototype(batch.Config{
 			Policy:        pol,
 			Carbon:        carbonTr,
@@ -129,7 +163,10 @@ func run(args []string) error {
 		Seed:               *seed,
 		// Per-job records are only needed when they are exported; plain
 		// summary runs stream into the aggregate accumulator.
-		RetainJobs: *out != "" || *dbPath != "",
+		RetainJobs:      *out != "" || *dbPath != "",
+		Elastic:         elasticTr,
+		Allocator:       alloc,
+		ElasticCapacity: *elasticCap,
 	}
 	res, err := core.Run(cfg, jobsTr)
 	if err != nil {
@@ -276,6 +313,27 @@ func loadWorkload(file, family string, jobs, days int, seed int64) (*workload.Tr
 	default:
 		return nil, fmt.Errorf("unknown workload family %q", family)
 	}
+}
+
+// loadElastic reads a malleable workload CSV plus an optional precedence
+// edges CSV into the ElasticTrace passed to core.Run as both the workload
+// and the elastic metadata.
+func loadElastic(jobsFile, edgesFile string) (*workload.ElasticTrace, error) {
+	jf, err := os.Open(jobsFile)
+	if err != nil {
+		return nil, err
+	}
+	defer jf.Close()
+	var edges io.Reader
+	if edgesFile != "" {
+		ef, err := os.Open(edgesFile)
+		if err != nil {
+			return nil, err
+		}
+		defer ef.Close()
+		edges = ef
+	}
+	return workload.ReadElasticCSV(jobsFile, jf, edges)
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

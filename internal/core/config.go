@@ -103,6 +103,27 @@ type Config struct {
 	// from the trace). Used for estimate-quality sensitivity studies.
 	AvgLengthOverride map[workload.Queue]simtime.Duration
 
+	// Elastic attaches malleable specs and precedence edges to the run's
+	// jobs (see workload.ElasticTrace). Its Jobs trace must be the very
+	// trace passed to Run — the specs are keyed by normalized job ID. Nil
+	// runs every job rigid. A trace whose specs are all degenerate and
+	// edge-free behaves exactly like nil (no elastic machinery engages),
+	// but still routes the run onto the event engine.
+	Elastic *workload.ElasticTrace
+
+	// Allocator reallocates replicas across running malleable jobs at
+	// every hour boundary; nil defaults to policy.StaticAlloc (every job
+	// pinned at its base width). Ignored without Elastic.
+	Allocator policy.ElasticAllocator
+
+	// ElasticCapacity further bounds the CPU budget the allocator may
+	// spend on replicas beyond the jobs' base widths. The budget each
+	// hour is the reserved pool's idle capacity — scale-ups only ever
+	// ride prepaid capacity, so they are free by construction — and a
+	// positive ElasticCapacity caps it lower still (0 = no extra cap).
+	// Base widths are always granted regardless.
+	ElasticCapacity int
+
 	// RetainJobs materializes the full per-job JobResult records
 	// (including execution segments) in Result.Jobs. By default the
 	// scheduler streams each finished job into the metrics accumulator
@@ -153,6 +174,21 @@ var forceEventEngine atomic.Bool
 // poison) a cache entry produced by the other path.
 func ForceEventEngine(v bool) { forceEventEngine.Store(v) }
 
+// forceElasticDegenerate globally wraps every subsequent non-elastic Run's
+// trace in a degenerate ElasticTrace (flat curve, single replica, no
+// edges), driving it through the elastic-aware engine configuration.
+var forceElasticDegenerate atomic.Bool
+
+// ForceElasticDegenerate makes every subsequent Run without an Elastic
+// trace behave as if Config.Elastic were the degenerate wrapping of its
+// workload (v=false restores the configs' own traces). Degenerate specs
+// engage no elastic machinery, but the configuration leaves the direct
+// path for the event engine — the seam exists for the elastic-vs-rigid
+// differential tests, and like the other Force* overrides it disables
+// fingerprint-keyed caching so a forced run can never be answered from
+// (or poison) a cache entry produced by the rigid path.
+func ForceElasticDegenerate(v bool) { forceElasticDegenerate.Store(v) }
+
 // DirectPathEligible reports whether Run would serve this configuration
 // via the direct-execution path (ignoring the Force* overrides, which are
 // test seams, not configuration). The rule is deliberately conservative —
@@ -180,6 +216,10 @@ func (c Config) DirectPathEligible() bool {
 //   - A non-perfect CIS is an opaque implementation whose Forecast may be
 //     stateful or time-dependent; only the immutable PerfectService has
 //     the purity guarantee the parallel decide phase needs.
+//   - An Elastic trace — even an all-degenerate one — makes decisions
+//     observe schedule state (precedence releases, hourly reallocation),
+//     so the plan cache could serve a stale rigid plan for an elastic
+//     cell; any non-nil Elastic falls back.
 //
 // Every other knob (Reserved level, queues, pricing, power, horizon,
 // retention) is replicated exactly by the sweep replay.
@@ -187,11 +227,18 @@ func (c Config) directEligible() bool {
 	if c.WorkConserving || c.SpotMaxLen > 0 {
 		return false
 	}
+	if c.Elastic != nil {
+		return false
+	}
 	if _, ok := c.CIS.(*carbon.PerfectService); !ok {
 		return false
 	}
 	switch c.Policy.(type) {
-	case policy.NoWait, policy.AllWait, policy.LowestSlot, policy.LowestWindow, policy.CarbonTime:
+	case policy.NoWait, policy.AllWait, policy.LowestSlot, policy.LowestWindow, policy.CarbonTime,
+		policy.CriticalPathShift:
+		// CriticalPathShift is pure too: with Elastic nil (guaranteed
+		// above) its SlackFn is never set, so it degenerates to
+		// Carbon-Time's start scan.
 		return true
 	default:
 		return false
@@ -255,6 +302,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval > 0 && c.CheckpointOverhead == 0 {
 		c.CheckpointOverhead = 2 * simtime.Minute
+	}
+	if c.Elastic != nil && c.Allocator == nil {
+		c.Allocator = policy.StaticAlloc{}
 	}
 	if forceRetainJobs.Load() {
 		c.RetainJobs = true
@@ -327,6 +377,27 @@ func (c Config) validate() error {
 	}
 	if c.Horizon <= 0 {
 		return fmt.Errorf("core: horizon %v must be positive", c.Horizon)
+	}
+	if c.ElasticCapacity < 0 {
+		return fmt.Errorf("core: elastic capacity %d must be non-negative", c.ElasticCapacity)
+	}
+	if c.Elastic != nil && c.Elastic.ManagedCount() > 0 {
+		// Managed (non-degenerate or DAG) jobs execute through the hourly
+		// reallocation machinery, which owns their finish events: the
+		// work-conservation waiter heap, spot eviction replans and
+		// suspend-resume plan policies would all fight it for the same
+		// jobs. Degenerate elastic traces engage none of it and keep every
+		// combination the rigid path allows.
+		if c.WorkConserving {
+			return errors.New("core: elastic managed jobs cannot be work-conserving")
+		}
+		if c.SpotMaxLen > 0 {
+			return errors.New("core: elastic managed jobs cannot route to spot capacity")
+		}
+		switch c.Policy.(type) {
+		case policy.WaitAwhile, policy.WaitAwhileEst, policy.Ecovisor:
+			return fmt.Errorf("core: plan-capable policy %s cannot drive elastic managed jobs", c.Policy.Name())
+		}
 	}
 	return nil
 }

@@ -53,6 +53,7 @@ func TestDirectPathEligibility(t *testing.T) {
 			c.SpotMaxLen = 4 * simtime.Hour
 			c.EvictionRate = 0.2
 		}, false},
+		{"critical-path", func(c *Config) { c.Policy = policy.CriticalPathShift{} }, true},
 		{"plan-waitawhile", func(c *Config) { c.Policy = policy.WaitAwhile{} }, false},
 		{"plan-waitawhile-est", func(c *Config) { c.Policy = policy.WaitAwhileEst{} }, false},
 		{"plan-ecovisor", func(c *Config) { c.Policy = policy.Ecovisor{} }, false},
@@ -91,6 +92,41 @@ func TestDirectPathEligibility(t *testing.T) {
 		defer ForceHeapEngine(false)
 		if tookDirectPath(t, cfg, jobs) {
 			t.Error("ForceHeapEngine did not disable the direct path")
+		}
+	})
+	// Elastic metadata disqualifies a config even when it is fully
+	// degenerate: the decide-replay sweep has no resize or precedence
+	// model, so any Elastic pointer must fall back to the event engine.
+	t.Run("elastic-degenerate", func(t *testing.T) {
+		cfg := baseConfig(tr, policy.CarbonTime{})
+		cfg.RetainJobs = false
+		cfg.Elastic = workload.Degenerate(jobs)
+		if cfg.DirectPathEligible() {
+			t.Error("DirectPathEligible() accepted a degenerate elastic config")
+		}
+		if tookDirectPath(t, cfg, jobs) {
+			t.Error("degenerate elastic config rode the direct path")
+		}
+	})
+	t.Run("elastic-managed", func(t *testing.T) {
+		_, et := randomElasticInstance(31, 40)
+		cfg := baseConfig(tr, policy.CarbonTime{})
+		cfg.RetainJobs = false
+		cfg.Elastic = et
+		if cfg.DirectPathEligible() {
+			t.Error("DirectPathEligible() accepted a managed elastic config")
+		}
+		if tookDirectPath(t, cfg, et.Jobs) {
+			t.Error("managed elastic config rode the direct path")
+		}
+	})
+	t.Run("force-elastic-degenerate", func(t *testing.T) {
+		cfg := baseConfig(tr, policy.CarbonTime{})
+		cfg.RetainJobs = false
+		ForceElasticDegenerate(true)
+		defer ForceElasticDegenerate(false)
+		if tookDirectPath(t, cfg, jobs) {
+			t.Error("ForceElasticDegenerate did not disable the direct path")
 		}
 	})
 }

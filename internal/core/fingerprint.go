@@ -52,10 +52,11 @@ func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
 	if canon.RetainJobs {
 		return fp, false
 	}
-	if forceHeapEngine.Load() || forceEventEngine.Load() {
-		// Forced differential runs (heap queue, or event engine instead of
-		// the direct path) must actually simulate: answering from the cache
-		// would silently compare a mechanism against itself.
+	if forceHeapEngine.Load() || forceEventEngine.Load() || forceElasticDegenerate.Load() {
+		// Forced differential runs (heap queue, event engine instead of
+		// the direct path, or the degenerate-elastic wrap) must actually
+		// simulate: answering from the cache would silently compare a
+		// mechanism against itself.
 		return fp, false
 	}
 	ptag, pparam, ok := policyIdentity(canon.Policy)
@@ -65,6 +66,17 @@ func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
 	perfect, ok := canon.CIS.(*carbon.PerfectService)
 	if !ok {
 		return fp, false
+	}
+	var atag int
+	var aparams [2]float64
+	if canon.Elastic != nil {
+		// The allocator chooses replica grants, so its identity is part of
+		// the outcome; unknown implementations may carry hidden state the
+		// hash cannot see and spoil cacheability like unknown policies do.
+		atag, aparams, ok = allocatorIdentity(canon.Allocator)
+		if !ok {
+			return fp, false
+		}
 	}
 
 	if canon.SpotMaxLen == 0 {
@@ -128,9 +140,44 @@ func (c Config) Fingerprint(jobs *workload.Trace) (fp [32]byte, ok bool) {
 	u64(uint64(canon.Seed))
 	jfp := jobs.Fingerprint()
 	h.Write(jfp[:])
+	if canon.Elastic != nil {
+		// Elastic block, appended only when present: a rigid config's hash
+		// is bit-for-bit what it was before elasticity existed, so the
+		// on-disk cache stays valid without a layout bump, and the marker
+		// keeps an elastic config from ever colliding with a rigid one.
+		u64(0xE1A5)
+		efp := canon.Elastic.Fingerprint()
+		h.Write(efp[:])
+		u64(uint64(atag))
+		f64(aparams[0])
+		f64(aparams[1])
+		u64(uint64(canon.ElasticCapacity))
+	}
 
 	h.Sum(fp[:0])
 	return fp, true
+}
+
+// allocatorIdentity maps an elastic allocator to a stable tag plus its
+// parameters, the allocator counterpart of policyIdentity. Tags are frozen
+// — append new allocators, never renumber.
+func allocatorIdentity(a policy.ElasticAllocator) (tag int, params [2]float64, ok bool) {
+	switch a := a.(type) {
+	case policy.StaticAlloc:
+		return 1, params, true
+	case policy.GreedyMarginal:
+		thresh := a.ScaleThreshold
+		if thresh <= 0 {
+			thresh = 0.75 // Allocate's documented default
+		}
+		preempt := a.PreemptAbove
+		if preempt <= 0 {
+			preempt = 1.25 // Allocate's documented default
+		}
+		return 2, [2]float64{thresh, preempt}, true
+	default:
+		return 0, params, false
+	}
 }
 
 // fingerprintLayout versions the binary layout hashed above. Bump it
@@ -169,7 +216,7 @@ func (c Config) DecisionFingerprint(jobs *workload.Trace) (fp [32]byte, ok bool)
 	if canon.validate() != nil {
 		return fp, false
 	}
-	if forceHeapEngine.Load() || forceEventEngine.Load() {
+	if forceHeapEngine.Load() || forceEventEngine.Load() || forceElasticDegenerate.Load() {
 		// Forced differential runs must exercise the forced mechanism end
 		// to end; replaying a cached plan would skip the phase under test.
 		return fp, false
@@ -258,6 +305,8 @@ func policyIdentity(p policy.Policy) (tag int, param float64, ok bool) {
 			pct = 30 // Decide's documented default
 		}
 		return 8, pct, true
+	case policy.CriticalPathShift:
+		return 9, 0, true
 	default:
 		return 0, 0, false
 	}

@@ -62,6 +62,23 @@ func RunContext(ctx context.Context, cfg Config, jobs *workload.Trace) (res *met
 
 	trace := normalizedTrace(jobs)
 
+	// The degenerate-elastic seam wraps rigid runs in an all-degenerate
+	// ElasticTrace, exercising the elastic-aware configuration (engine
+	// path, no caching) with zero managed jobs — bit-identity with the
+	// unwrapped run is what the elastic differential tests pin.
+	if cfg.Elastic == nil && forceElasticDegenerate.Load() {
+		cfg.Elastic = workload.Degenerate(trace)
+		if cfg.Allocator == nil {
+			cfg.Allocator = policy.StaticAlloc{}
+		}
+	}
+	// The elastic specs are keyed by normalized job ID, so the spec trace
+	// must wrap this run's jobs — anything else would silently misapply
+	// curves and edges across renumbered IDs.
+	if cfg.Elastic != nil && cfg.Elastic.Jobs != jobs && cfg.Elastic.Jobs != trace {
+		return nil, errors.New("core: config.Elastic must wrap the trace passed to Run")
+	}
+
 	// Decision-pure configurations skip the event engine entirely: the
 	// direct path decides every job in parallel and replays accounting
 	// over sorted endpoints, bit-identical to the engine (direct.go). The
@@ -96,6 +113,12 @@ func RunContext(ctx context.Context, cfg Config, jobs *workload.Trace) (res *met
 		// A normalized trace numbers jobs 0..n-1, so each job's record
 		// lives at results[job.ID]: no append growth, no final sort.
 		s.results = make([]metrics.JobResult, len(trace.Jobs))
+	}
+	if et := cfg.Elastic; et != nil && et.ManagedCount() > 0 {
+		s.el = newElasticState(s, et)
+		if et.HasEdges() {
+			s.ctx.SlackFn = et.Slack
+		}
 	}
 	// Pre-size the jobState pool: its high-water mark is the peak
 	// in-flight job count, which the paper's traces keep in the hundreds,
@@ -170,6 +193,9 @@ type scheduler struct {
 	evict   *cloud.EvictionModel
 	waiting waitQueue
 	acc     *metrics.Accumulator
+	// el is the malleable-job machinery, nil unless the run's Elastic
+	// trace has managed jobs (elastic.go).
+	el *elasticState
 	// results holds the retained per-job records (RetainJobs only).
 	results []metrics.JobResult
 	// free pools jobState records between finish and the next arrival, so
@@ -243,6 +269,13 @@ func (s *scheduler) newJobState(job workload.Job) *jobState {
 
 // arrive handles a job submission.
 func (s *scheduler) arrive(job workload.Job) {
+	// Managed (malleable or DAG) jobs divert into the elastic machinery;
+	// every other job — including all jobs of a degenerate elastic trace —
+	// continues through the rigid path below untouched.
+	if s.el != nil && s.el.et.Managed(job.ID) {
+		s.el.arrive(job)
+		return
+	}
 	now := s.engine.Now()
 	js := s.newJobState(job)
 	rec := js.rec

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/runcache"
+)
+
+// TestFiguresIdenticalElasticDegenerate pins the elastic machinery's
+// degenerate contract against the whole figure suite: with
+// ForceElasticDegenerate on, every rigid config is wrapped in a
+// single-replica flat-curve ElasticTrace before running, and every figure
+// must still render byte-identically — with the cache disabled and with a
+// cache set (the force seam spoils fingerprints, so the second pass also
+// proves forced runs never answer from or poison a live cache). This is
+// the figure-level face of the core package's degenerate differential:
+// jobs whose contract is rigid must be untouchable by the elastic path.
+func TestFiguresIdenticalElasticDegenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the full quick-scale figure suite four times")
+	}
+	prev := ActiveCache()
+	defer SetCache(prev)
+	defer core.ForceElasticDegenerate(false)
+
+	SetCache(nil)
+	core.ForceElasticDegenerate(false)
+	want := renderAll(t, "rigid, cache off")
+
+	compare := func(label string, got map[string]string) {
+		t.Helper()
+		for id, text := range want {
+			if got[id] != text {
+				t.Errorf("%s: %s differs from rigid render:\n--- rigid ---\n%s\n--- %s ---\n%s",
+					id, label, text, label, got[id])
+			}
+		}
+	}
+
+	core.ForceElasticDegenerate(true)
+	compare("degenerate wrap, cache off", renderAll(t, "degenerate wrap, cache off"))
+
+	// A live cache must not change anything: the seam makes every cell
+	// non-fingerprintable, so these renders simulate end to end too.
+	SetCache(runcache.New())
+	compare("degenerate wrap, cache on", renderAll(t, "degenerate wrap, cache on"))
+
+	// The cache warmed while the seam was up must not have stored forced
+	// results: a rigid render against it has to stay byte-identical.
+	core.ForceElasticDegenerate(false)
+	compare("rigid, warm cache", renderAll(t, "rigid, warm cache"))
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/carbonsched/gaia/internal/core"
+	"github.com/carbonsched/gaia/internal/policy"
+)
+
+// The elastic configuration of x09 must strictly dominate rigid
+// Carbon-Time on the (carbon, cost) plane in every evaluation region:
+// suspension and clean-hour scaling cut emissions while free scale-ups
+// (idle reserved capacity only) shorten the on-demand tail. This is the
+// acceptance shape of the elastic subsystem — the README quotes the
+// quick-scale numbers this test pins.
+func TestShapeElasticDominatesRigidCarbonTime(t *testing.T) {
+	et := elasticYearTrace(Quick)
+	reserved := int(meanDemand("alibaba", Quick))
+	for _, code := range evaluationRegions() {
+		base := core.Config{
+			Policy:   policy.CarbonTime{},
+			Reserved: reserved,
+			Carbon:   regionTrace(code),
+			Horizon:  horizon(Quick),
+		}
+		elastic := base
+		elastic.Elastic = et
+		elastic.Allocator = policy.GreedyMarginal{ScaleThreshold: 1.0, PreemptAbove: 1.04}
+		rigid, err := core.Run(base, et.Jobs)
+		if err != nil {
+			t.Fatalf("%s rigid: %v", code, err)
+		}
+		el, err := core.Run(elastic, et.Jobs)
+		if err != nil {
+			t.Fatalf("%s elastic: %v", code, err)
+		}
+		if el.TotalCarbon() >= rigid.TotalCarbon() {
+			t.Errorf("%s: elastic carbon %.4f >= rigid Carbon-Time %.4f",
+				code, el.TotalCarbon(), rigid.TotalCarbon())
+		}
+		if el.TotalCost() >= rigid.TotalCost() {
+			t.Errorf("%s: elastic cost %.4f >= rigid Carbon-Time %.4f",
+				code, el.TotalCost(), rigid.TotalCost())
+		}
+	}
+}
+
+// Critical-Path must sit strictly between No-Wait and Carbon-Time on the
+// DAG workload: it saves carbon over No-Wait, keeps completion time well
+// under Carbon-Time's blanket stretch, and — the invariant that names the
+// policy — a branch shifted within its slack cannot delay the sink, so
+// completion stays near No-Wait's.
+func TestShapeCriticalPathBetweenExtremes(t *testing.T) {
+	et := dagPipelineTrace(Quick)
+	run := func(p policy.Policy) (carbon float64, completion float64) {
+		res, err := core.Run(core.Config{
+			Policy:  p,
+			Carbon:  regionTrace("SA-AU"),
+			Horizon: horizon(Quick),
+			Elastic: et,
+		}, et.Jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCarbon(), float64(res.MeanCompletion())
+	}
+	nwC, nwT := run(policy.NoWait{})
+	ctC, ctT := run(policy.CarbonTime{})
+	cpC, cpT := run(policy.CriticalPathShift{})
+	if cpC >= nwC {
+		t.Errorf("Critical-Path carbon %.1f should beat No-Wait %.1f", cpC, nwC)
+	}
+	if cpC <= ctC {
+		t.Errorf("Critical-Path carbon %.1f should not beat blanket Carbon-Time %.1f", cpC, ctC)
+	}
+	if cpT >= ctT {
+		t.Errorf("Critical-Path completion %.1f should beat Carbon-Time %.1f", cpT, ctT)
+	}
+	// Slack-bounded shifting keeps completion within 25% of No-Wait even
+	// though over half the pipeline energy moved to cleaner hours.
+	if cpT > 1.25*nwT {
+		t.Errorf("Critical-Path completion %.1f stretches No-Wait %.1f by more than 25%%", cpT, nwT)
+	}
+}

@@ -12,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig17", "fig18", "fig19", "fig20",
 		"x01-forecast", "x02-estimates", "x03-suspend", "x04-prototype",
 		"x05-checkpoint", "x06-spatial", "x07-carbontax", "x08-scaling",
+		"x09-elastic", "x10-dag",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -131,7 +131,13 @@ func (p CarbonTime) Decide(job workload.Job, now simtime.Time, ctx *Context) Dec
 // referenceDecide is the direct O(W) scan the fast path is differential-
 // tested against.
 func (CarbonTime) referenceDecide(job workload.Job, now simtime.Time, ctx *Context) Decision {
-	w := ctx.Queue(job.Queue).MaxWait
+	return carbonTimeScan(job, now, ctx, ctx.Queue(job.Queue).MaxWait)
+}
+
+// carbonTimeScan is the CST maximization over an explicit waiting window w,
+// shared between CarbonTime (w = the queue's MaxWait) and CriticalPathShift
+// (w additionally capped by the job's precedence slack).
+func carbonTimeScan(job workload.Job, now simtime.Time, ctx *Context, w simtime.Duration) Decision {
 	est := estimatedLength(job, ctx)
 	baseline := ctx.CIS.ForecastIntegral(now, simtime.Interval{Start: now, End: now.Add(est)})
 	best := now

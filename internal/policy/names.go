@@ -18,6 +18,7 @@ var byTag = map[string]Policy{
 	"wait-awhile":     WaitAwhile{},
 	"wait-awhile-est": WaitAwhileEst{},
 	"ecovisor":        Ecovisor{},
+	"critical-path":   CriticalPathShift{},
 }
 
 // ByName resolves a policy tag (case-insensitive) to its implementation.
@@ -34,6 +35,32 @@ func ByName(name string) (Policy, error) {
 func Names() []string {
 	out := make([]string, 0, len(byTag))
 	for tag := range byTag {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allocatorByTag maps the lower-case CLI tag of every elastic allocator to
+// its value, mirroring byTag for policies.
+var allocatorByTag = map[string]ElasticAllocator{
+	"static-min":      StaticAlloc{},
+	"greedy-marginal": GreedyMarginal{},
+}
+
+// AllocatorByName resolves an elastic-allocator tag (case-insensitive),
+// the single parsing point for gaia-sim and experiment configuration.
+func AllocatorByName(name string) (ElasticAllocator, error) {
+	if a, ok := allocatorByTag[strings.ToLower(name)]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("policy: unknown allocator %q (have %v)", name, AllocatorNames())
+}
+
+// AllocatorNames returns every accepted allocator tag, sorted.
+func AllocatorNames() []string {
+	out := make([]string, 0, len(allocatorByTag))
+	for tag := range allocatorByTag {
 		out = append(out, tag)
 	}
 	sort.Strings(out)

@@ -23,8 +23,8 @@ func TestByNameRoundTrip(t *testing.T) {
 
 func TestNamesSortedAndComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 8 {
-		t.Fatalf("Names() has %d entries, want 8", len(names))
+	if len(names) != 9 {
+		t.Fatalf("Names() has %d entries, want 9", len(names))
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {

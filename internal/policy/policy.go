@@ -45,6 +45,12 @@ type Context struct {
 	CIS    carbon.Service
 	Queues map[workload.Queue]QueueInfo
 
+	// SlackFn, when set by the scheduler for DAG workloads, reports a
+	// job's precedence slack — how long it can wait without stretching its
+	// DAG's critical path (ok false for jobs outside any DAG). Only
+	// DAG-aware policies (CriticalPathShift) consult it.
+	SlackFn func(jobID int) (simtime.Duration, bool)
+
 	// Oracle fast-path state (EnableFastPaths). fast is indexed by queue;
 	// ftrace is the perfect-knowledge trace the tables were derived from.
 	fast     []*carbon.QueueTables

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/carbonsched/gaia/internal/simtime"
+)
+
+// Malleable-trace CSV schema: the rigid trace columns plus the elasticity
+// contract, one row per job —
+//
+//	id,arrival_min,length_min,cpus,queue,user,min_replicas,max_replicas,curve
+//
+// where curve is the ';'-separated marginal-throughput list (e.g.
+// "1;0.9;0.75"). Precedence edges live in a companion CSV of
+//
+//	src,dst
+//
+// rows whose endpoints are the id column values of the malleable file, so
+// real DAG traces keep their native job identifiers; NewElasticTrace
+// renumbers both onto arrival order.
+
+// WriteElasticCSV writes the elastic trace in the malleable schema (and is
+// ReadElasticCSV's inverse up to ID renumbering).
+func (et *ElasticTrace) WriteElasticCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "arrival_min", "length_min", "cpus", "queue", "user",
+		"min_replicas", "max_replicas", "curve"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for i, j := range et.Jobs.Jobs {
+		sp := et.Specs[i]
+		marg := make([]string, len(sp.Curve))
+		for k, m := range sp.Curve {
+			marg[k] = strconv.FormatFloat(m, 'g', -1, 64)
+		}
+		rec := []string{
+			strconv.Itoa(j.ID),
+			strconv.FormatInt(int64(j.Arrival), 10),
+			strconv.FormatInt(int64(j.Length), 10),
+			strconv.Itoa(j.CPUs),
+			j.Queue.String(),
+			j.User,
+			strconv.Itoa(sp.MinReplicas),
+			strconv.Itoa(sp.MaxReplicas),
+			strings.Join(marg, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEdgesCSV writes the precedence edges as src,dst rows (endpoints in
+// the trace's normalized numbering, matching WriteElasticCSV's id column).
+func (et *ElasticTrace) WriteEdgesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"src", "dst"}); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, e := range et.Edges {
+		if err := cw.Write([]string{strconv.Itoa(e.Src), strconv.Itoa(e.Dst)}); err != nil {
+			return fmt.Errorf("workload: writing edge %d→%d: %w", e.Src, e.Dst, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadElasticCSV parses a malleable trace, optionally joined with a
+// precedence-edge CSV (pass nil for a DAG-free trace). Edge endpoints are
+// resolved against the jobs file's id column — ids must therefore be
+// unique — and the result is normalized exactly like NewElasticTrace.
+// Malformed rows, unknown ids, self/duplicate edges and cycles are
+// rejected deterministically.
+func ReadElasticCSV(name string, jobs io.Reader, edges io.Reader) (*ElasticTrace, error) {
+	cr := csv.NewReader(jobs)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading elastic csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("workload: elastic csv has no rows")
+	}
+	js := make([]Job, 0, len(rows)-1)
+	specs := make([]ElasticSpec, 0, len(rows)-1)
+	rowOf := make(map[int64]int, len(rows)-1) // file id → position
+	for i, row := range rows[1:] {
+		if len(row) != 9 {
+			return nil, fmt.Errorf("workload: row %d: want 9 fields, got %d", i+1, len(row))
+		}
+		fileID, errID := strconv.ParseInt(row[0], 10, 64)
+		arrival, err1 := strconv.ParseInt(row[1], 10, 64)
+		length, err2 := strconv.ParseInt(row[2], 10, 64)
+		cpus, err3 := strconv.Atoi(row[3])
+		minR, err4 := strconv.Atoi(row[6])
+		maxR, err5 := strconv.Atoi(row[7])
+		if errID != nil || err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			return nil, fmt.Errorf("workload: row %d: malformed fields %v", i+1, row)
+		}
+		q, err := ParseQueue(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i+1, err)
+		}
+		curve, err := parseCurve(row[8])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i+1, err)
+		}
+		if _, dup := rowOf[fileID]; dup {
+			return nil, fmt.Errorf("workload: row %d: duplicate job id %d", i+1, fileID)
+		}
+		rowOf[fileID] = len(js)
+		js = append(js, Job{
+			Arrival: simtime.Time(arrival),
+			Length:  simtime.Duration(length),
+			CPUs:    cpus,
+			Queue:   q,
+			User:    row[5],
+		})
+		specs = append(specs, ElasticSpec{MinReplicas: minR, MaxReplicas: maxR, Curve: curve})
+	}
+
+	var es []Edge
+	if edges != nil {
+		es, err = readEdges(edges, rowOf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewElasticTrace(name, js, specs, es)
+}
+
+// parseCurve parses the ';'-separated marginal list.
+func parseCurve(s string) (ScaleCurve, error) {
+	parts := strings.Split(s, ";")
+	c := make(ScaleCurve, 0, len(parts))
+	for _, p := range parts {
+		m, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: malformed curve %q", s)
+		}
+		c = append(c, m)
+	}
+	return c, nil
+}
+
+// readEdges parses src,dst rows, resolving endpoints through the jobs
+// file's id column. Dangling references are rejected by name.
+func readEdges(r io.Reader, rowOf map[int64]int) ([]Edge, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading edges csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("workload: edges csv has no rows")
+	}
+	es := make([]Edge, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("workload: edge row %d: want 2 fields, got %d", i+1, len(row))
+		}
+		src, err1 := strconv.ParseInt(row[0], 10, 64)
+		dst, err2 := strconv.ParseInt(row[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("workload: edge row %d: malformed fields %v", i+1, row)
+		}
+		si, ok := rowOf[src]
+		if !ok {
+			return nil, fmt.Errorf("workload: edge row %d: unknown job id %d", i+1, src)
+		}
+		di, ok := rowOf[dst]
+		if !ok {
+			return nil, fmt.Errorf("workload: edge row %d: unknown job id %d", i+1, dst)
+		}
+		es = append(es, Edge{Src: si, Dst: di})
+	}
+	return es, nil
+}

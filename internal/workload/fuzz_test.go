@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -29,6 +30,44 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if again.Len() != tr.Len() {
 			t.Fatalf("round trip changed job count: %d != %d", again.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzElasticCSV extends the same contract to the malleable parser: the
+// joined jobs+edges reader must never panic, and any accepted trace must
+// survive a WriteElasticCSV/WriteEdgesCSV round trip with its fingerprint
+// (jobs, specs, edges, critical-path analysis) intact.
+func FuzzElasticCSV(f *testing.F) {
+	const hdr = "id,arrival_min,length_min,cpus,queue,user,min_replicas,max_replicas,curve\n"
+	f.Add(hdr+"0,0,60,1,short,u01,1,1,1\n", "src,dst\n")
+	f.Add(hdr+"0,0,60,2,long,u01,1,4,1;0.8;0.5;0.2\n1,30,120,2,long,u02,0,2,1;0.9\n", "src,dst\n0,1\n")
+	f.Add(hdr+"7,0,60,1,short,u01,1,1,1\n9,0,60,1,short,u01,1,1,1\n", "src,dst\n9,7\n7,9\n") // cycle
+	f.Add(hdr+"0,0,60,1,short,u01,2,1,1\n", "")                                              // min > max
+	f.Add(hdr+"0,0,60,1,short,u01,1,2,1;1.5\n", "")                                          // increasing marginal
+	f.Add(hdr+"0,0,60,1,short,u01,1,1,1\n", "src,dst\n0,5\n")                                // dangling edge
+	f.Fuzz(func(t *testing.T, jobs string, edges string) {
+		var er io.Reader
+		if edges != "" {
+			er = strings.NewReader(edges)
+		}
+		et, err := ReadElasticCSV("fuzz", strings.NewReader(jobs), er)
+		if err != nil {
+			return
+		}
+		var jb, eb bytes.Buffer
+		if err := et.WriteElasticCSV(&jb); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		if err := et.WriteEdgesCSV(&eb); err != nil {
+			t.Fatalf("accepted edges failed to serialize: %v", err)
+		}
+		again, err := ReadElasticCSV("fuzz", &jb, &eb)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Fingerprint() != et.Fingerprint() {
+			t.Fatalf("round trip changed fingerprint")
 		}
 	})
 }
